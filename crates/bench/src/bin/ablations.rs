@@ -1,0 +1,4 @@
+//! Run every design-choice ablation and print the tables.
+fn main() {
+    print!("{}", vlfs_bench::ablations::run_all());
+}

@@ -1,0 +1,28 @@
+//! Regenerate every table and figure in one run (used to refresh
+//! EXPERIMENTS.md). Pass `--quick` for a fast smoke pass.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (w1, t2, files, mb, u8_, u9, b10, b11) = if quick {
+        (120, 40, 200, 4, 400, 200, 1200, 800)
+    } else {
+        (400, 120, 1500, 10, 2000, 1000, 6000, 4000)
+    };
+    println!("{}", vlfs_bench::table1::run());
+    println!("{}", vlfs_bench::fig1::run(w1));
+    println!("{}", vlfs_bench::fig2::run(t2));
+    println!("{}", vlfs_bench::fig6::run(files));
+    println!("{}", vlfs_bench::fig7::run(mb));
+    println!("{}", vlfs_bench::fig8::run(u8_));
+    println!("{}", vlfs_bench::table2::run(u9));
+    println!("{}", vlfs_bench::fig9::run(u9));
+    println!("{}", vlfs_bench::fig10::run(b10));
+    println!("{}", vlfs_bench::fig11::run(b11));
+    println!(
+        "{}",
+        vlfs_bench::appendix::run(if quick { 200 } else { 800 })
+    );
+    println!(
+        "{}",
+        vlfs_bench::vlfs_preview::run(if quick { 150 } else { 600 })
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerate the Appendix A.1 block-size analysis.
+fn main() {
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    print!("{}", vlfs_bench::appendix::run(trials));
+}

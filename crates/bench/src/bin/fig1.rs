@@ -1,0 +1,8 @@
+//! Regenerate the paper's Figure 1.
+fn main() {
+    let writes = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    print!("{}", vlfs_bench::fig1::run(writes));
+}

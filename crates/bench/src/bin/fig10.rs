@@ -1,0 +1,8 @@
+//! Regenerate the paper's Figure 10.
+fn main() {
+    let blocks = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6000);
+    print!("{}", vlfs_bench::fig10::run(blocks));
+}

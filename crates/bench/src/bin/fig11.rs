@@ -1,0 +1,8 @@
+//! Regenerate the paper's Figure 11.
+fn main() {
+    let blocks = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000);
+    print!("{}", vlfs_bench::fig11::run(blocks));
+}

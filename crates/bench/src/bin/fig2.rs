@@ -1,0 +1,8 @@
+//! Regenerate the paper's Figure 2.
+fn main() {
+    let tracks = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    print!("{}", vlfs_bench::fig2::run(tracks));
+}

@@ -1,0 +1,8 @@
+//! Regenerate the paper's Figure 6.
+fn main() {
+    let files = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500);
+    print!("{}", vlfs_bench::fig6::run(files));
+}

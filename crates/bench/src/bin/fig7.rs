@@ -1,0 +1,8 @@
+//! Regenerate the paper's Figure 7.
+fn main() {
+    let mb = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    print!("{}", vlfs_bench::fig7::run(mb));
+}

@@ -1,0 +1,8 @@
+//! Regenerate the paper's Figure 8.
+fn main() {
+    let updates = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    print!("{}", vlfs_bench::fig8::run(updates));
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's Table 1.
+fn main() {
+    print!("{}", vlfs_bench::table1::run());
+}

@@ -1,0 +1,8 @@
+//! Measure the paper's §3.3 VLFS speculation against its proxies.
+fn main() {
+    let updates = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+    print!("{}", vlfs_bench::vlfs_preview::run(updates));
+}

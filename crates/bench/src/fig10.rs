@@ -1,0 +1,135 @@
+//! Figure 10: LFS (with NVRAM buffer) latency as a function of available
+//! idle time, for several burst sizes, at 80 % disk utilisation.
+//!
+//! The benchmark performs a burst of random 4 KB updates, pauses for the
+//! idle interval (during which the cleaner may run), and repeats. Reported
+//! latency is non-idle time per block. Because the cleaner moves
+//! segment-sized data, LFS "can only benefit from relatively long idle
+//! intervals".
+
+use crate::format_table;
+use crate::setup::{make_system, DevKind, DiskKind, FsKind};
+use crate::workload::{make_file, rng, BLOCK};
+use fscore::{FileId, FileSystem, FsResult, HostModel};
+use rand::Rng;
+
+/// The paper's burst sizes (KB). 504/1008/… are multiples of the 508 KB
+/// of data a 127-slot segment holds.
+pub const BURSTS_KB: [u64; 6] = [128, 256, 504, 1008, 2016, 4032];
+
+/// Run the burst/idle cycle benchmark on an existing file; returns mean
+/// non-idle milliseconds per 4 KB block.
+pub fn burst_idle_bench(
+    fs: &mut dyn FileSystem,
+    f: FileId,
+    file_blocks: u64,
+    burst_blocks: u64,
+    idle_ns: u64,
+    total_blocks: u64,
+    seed: u64,
+) -> FsResult<f64> {
+    let clock = fs.clock();
+    let mut r = rng(seed);
+    let buf = vec![0x5Du8; BLOCK];
+    let mut written = 0u64;
+    let mut idle_granted = 0u64;
+    let t0 = clock.now();
+    while written < total_blocks {
+        let n = burst_blocks.min(total_blocks - written);
+        for _ in 0..n {
+            let b = r.gen_range(0..file_blocks);
+            fs.write(f, b * BLOCK as u64, &buf)?;
+        }
+        written += n;
+        if idle_ns > 0 {
+            fs.idle(idle_ns);
+            idle_granted += idle_ns;
+        }
+    }
+    let busy = clock.now() - t0 - idle_granted;
+    Ok(busy as f64 / written as f64 / 1e6)
+}
+
+/// Build the LFS-at-80 %-utilisation system and its target file.
+fn setup(host: HostModel) -> FsResult<(ufs::Ufs, FileId, u64)> {
+    let mut fs = make_system(FsKind::Lfs, DevKind::Regular, DiskKind::Seagate, host)?;
+    let usable = fs.free_blocks();
+    let file_blocks = (usable as f64 * 0.8) as u64;
+    let f = make_file(&mut fs, "target", file_blocks * BLOCK as u64)?;
+    Ok((fs, f, file_blocks))
+}
+
+/// Measure one series (burst size fixed, idle varied).
+pub fn series(
+    burst_kb: u64,
+    idles_s: &[f64],
+    total_blocks: u64,
+    host: HostModel,
+) -> Vec<(f64, f64)> {
+    idles_s
+        .iter()
+        .map(|&idle| {
+            let (mut fs, f, file_blocks) = setup(host).expect("setup");
+            // Warm up: cycle the NVRAM once.
+            let warm = 2000.min(total_blocks);
+            burst_idle_bench(&mut fs, f, file_blocks, warm, 0, warm, 7).expect("warmup");
+            let ms = burst_idle_bench(
+                &mut fs,
+                f,
+                file_blocks,
+                burst_kb * 1024 / BLOCK as u64,
+                (idle * 1e9) as u64,
+                total_blocks,
+                0xF20 ^ burst_kb,
+            )
+            .expect("bench");
+            (idle, ms)
+        })
+        .collect()
+}
+
+/// Regenerate Figure 10.
+pub fn run(total_blocks: u64) -> String {
+    let host = HostModel::sparcstation_10();
+    let idles = [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 7.0];
+    let mut columns = Vec::new();
+    for &b in BURSTS_KB.iter() {
+        columns.push(series(b, &idles, total_blocks, host));
+    }
+    let rows: Vec<Vec<String>> = idles
+        .iter()
+        .enumerate()
+        .map(|(i, idle)| {
+            let mut row = vec![format!("{idle:.2}")];
+            for col in &columns {
+                row.push(format!("{:.2}", col[i].1));
+            }
+            row
+        })
+        .collect();
+    let headers: Vec<String> = std::iter::once("idle (s)".to_string())
+        .chain(BURSTS_KB.iter().map(|b| format!("{b}K")))
+        .collect();
+    let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    format_table(
+        "Figure 10: LFS+NVRAM latency per 4 KB block (ms) vs idle interval",
+        &hdr,
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_time_helps_lfs() {
+        let host = HostModel::instant();
+        let pts = series(504, &[0.0, 4.0], 3000, host);
+        let (busy, idle) = (pts[0].1, pts[1].1);
+        assert!(
+            idle < busy,
+            "4 s idle ({idle} ms) must beat zero idle ({busy} ms)"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 11: UFS-on-VLD latency as a function of available idle time, for
+//! several burst sizes, at 80 % disk utilisation.
+//!
+//! The same burst/pause benchmark as Figure 10, but the idle time feeds the
+//! VLD's track-granularity compactor instead of the LFS cleaner — so the
+//! performance "improves along a continuum of relatively small idle
+//! intervals" (fractions of a second rather than seconds).
+
+use crate::fig10::burst_idle_bench;
+use crate::format_table;
+use crate::setup::{make_system, DevKind, DiskKind, FsKind};
+use crate::workload::{make_file, BLOCK};
+use fscore::{FileId, FileSystem, FsResult, HostModel};
+
+/// The paper's burst sizes for this figure (KB).
+pub const BURSTS_KB: [u64; 6] = [128, 256, 512, 1024, 2048, 4096];
+
+fn setup(host: HostModel) -> FsResult<(ufs::Ufs, FileId, u64)> {
+    let mut fs = make_system(FsKind::Ufs, DevKind::Vld, DiskKind::Seagate, host)?;
+    let usable = fs.free_blocks();
+    let file_blocks = (usable as f64 * 0.8) as u64;
+    let f = make_file(&mut fs, "target", file_blocks * BLOCK as u64)?;
+    fs.set_sync_writes(true);
+    Ok((fs, f, file_blocks))
+}
+
+/// Measure one series (burst size fixed, idle varied).
+pub fn series(
+    burst_kb: u64,
+    idles_s: &[f64],
+    total_blocks: u64,
+    host: HostModel,
+) -> Vec<(f64, f64)> {
+    idles_s
+        .iter()
+        .map(|&idle| {
+            let (mut fs, f, file_blocks) = setup(host).expect("setup");
+            let warm = 1000.min(total_blocks);
+            burst_idle_bench(&mut fs, f, file_blocks, warm, 0, warm, 7).expect("warmup");
+            let ms = burst_idle_bench(
+                &mut fs,
+                f,
+                file_blocks,
+                burst_kb * 1024 / BLOCK as u64,
+                (idle * 1e9) as u64,
+                total_blocks,
+                0xF21 ^ burst_kb,
+            )
+            .expect("bench");
+            (idle, ms)
+        })
+        .collect()
+}
+
+/// Regenerate Figure 11.
+pub fn run(total_blocks: u64) -> String {
+    let host = HostModel::sparcstation_10();
+    let idles = [0.0, 0.05, 0.1, 0.2, 0.3, 0.45, 0.6];
+    let mut columns = Vec::new();
+    for &b in BURSTS_KB.iter() {
+        columns.push(series(b, &idles, total_blocks, host));
+    }
+    let rows: Vec<Vec<String>> = idles
+        .iter()
+        .enumerate()
+        .map(|(i, idle)| {
+            let mut row = vec![format!("{idle:.2}")];
+            for col in &columns {
+                row.push(format!("{:.3}", col[i].1));
+            }
+            row
+        })
+        .collect();
+    let headers: Vec<String> = std::iter::once("idle (s)".to_string())
+        .chain(BURSTS_KB.iter().map(|b| format!("{b}K")))
+        .collect();
+    let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    format_table(
+        "Figure 11: UFS-on-VLD latency per 4 KB block (ms) vs idle interval",
+        &hdr,
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_idle_intervals_already_help_the_vld() {
+        let host = HostModel::instant();
+        let pts = series(512, &[0.0, 0.45], 2500, host);
+        let (busy, idle) = (pts[0].1, pts[1].1);
+        assert!(
+            idle <= busy,
+            "0.45 s idle ({idle} ms) should not be worse than none ({busy} ms)"
+        );
+    }
+
+    #[test]
+    fn vld_latency_is_predictable() {
+        // "The VLD performance is also more predictable": across burst
+        // sizes at a fixed idle interval, the spread stays small.
+        let host = HostModel::instant();
+        let a = series(128, &[0.2], 1500, host)[0].1;
+        let b = series(2048, &[0.2], 1500, host)[0].1;
+        let ratio = if a > b { a / b } else { b / a };
+        assert!(ratio < 3.0, "burst-size sensitivity too high: {a} vs {b}");
+    }
+}

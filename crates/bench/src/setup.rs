@@ -1,0 +1,141 @@
+//! Construction of the paper's system combinations (its Figure 5): a file
+//! system (UFS or LFS) over a device (regular disk or VLD) on a simulated
+//! drive (HP97560 or Seagate ST19101), timed against a host model.
+
+use disksim::{BlockDevice, DiskSpec, RegularDisk, SimClock};
+use fscore::{FsResult, HostModel};
+use lfs::{lfs_filesystem, LfsConfig};
+use ufs::{Ufs, UfsConfig};
+use vlog_core::{Vld, VldConfig};
+
+/// Which simulated drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskKind {
+    /// The 1990 HP97560 (36-cylinder simulated slice).
+    Hp,
+    /// The 1998 Seagate ST19101 (11-cylinder simulated slice).
+    Seagate,
+}
+
+impl DiskKind {
+    /// The drive's spec (paper-sized simulation slice).
+    pub fn spec(self) -> DiskSpec {
+        match self {
+            DiskKind::Hp => DiskSpec::hp97560_sim(),
+            DiskKind::Seagate => DiskSpec::st19101_sim(),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiskKind::Hp => "HP97560",
+            DiskKind::Seagate => "ST19101",
+        }
+    }
+}
+
+/// Which block device exports the drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DevKind {
+    /// Update-in-place (logical block = fixed physical location).
+    Regular,
+    /// The Virtual Log Disk (eager writing + virtual log).
+    Vld,
+}
+
+impl DevKind {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DevKind::Regular => "Regular",
+            DevKind::Vld => "VLD",
+        }
+    }
+}
+
+/// Which file system runs on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsKind {
+    /// Update-in-place UFS (synchronous metadata).
+    Ufs,
+    /// Log-structured stack (file layer over the LLD).
+    Lfs,
+}
+
+impl FsKind {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FsKind::Ufs => "UFS",
+            FsKind::Lfs => "LFS",
+        }
+    }
+}
+
+/// Build a raw block device of the given kind on a fresh clock.
+pub fn make_device(dev: DevKind, disk: DiskKind) -> Box<dyn BlockDevice> {
+    let clock = SimClock::new();
+    match dev {
+        DevKind::Regular => Box::new(RegularDisk::new(disk.spec(), clock, 4096)),
+        DevKind::Vld => Box::new(Vld::format(disk.spec(), clock, VldConfig::default())),
+    }
+}
+
+/// Build one of the paper's four system combinations.
+pub fn make_system(fs: FsKind, dev: DevKind, disk: DiskKind, host: HostModel) -> FsResult<Ufs> {
+    let device = make_device(dev, disk);
+    match fs {
+        FsKind::Ufs => Ufs::format(device, host, UfsConfig::default()),
+        FsKind::Lfs => lfs_filesystem(device, host, LfsConfig::default()),
+    }
+}
+
+/// A configuration label like "UFS on VLD".
+pub fn combo_label(fs: FsKind, dev: DevKind) -> String {
+    format!("{} on {}", fs.label(), dev.label())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fscore::FileSystem;
+
+    #[test]
+    fn all_four_combinations_construct_and_work() {
+        for fs_kind in [FsKind::Ufs, FsKind::Lfs] {
+            for dev_kind in [DevKind::Regular, DevKind::Vld] {
+                let mut fs =
+                    make_system(fs_kind, dev_kind, DiskKind::Seagate, HostModel::instant())
+                        .unwrap_or_else(|e| {
+                            panic!("{}: {e}", combo_label(fs_kind, dev_kind));
+                        });
+                let f = fs.create("probe").unwrap();
+                fs.write(f, 0, &vec![7u8; 8192]).unwrap();
+                fs.sync().unwrap();
+                fs.drop_caches();
+                let mut out = vec![0u8; 8192];
+                assert_eq!(fs.read(f, 0, &mut out).unwrap(), 8192);
+                assert!(
+                    out.iter().all(|&b| b == 7),
+                    "{}",
+                    combo_label(fs_kind, dev_kind)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hp_systems_construct() {
+        let mut fs = make_system(
+            FsKind::Ufs,
+            DevKind::Vld,
+            DiskKind::Hp,
+            HostModel::sparcstation_10(),
+        )
+        .unwrap();
+        let f = fs.create("x").unwrap();
+        fs.write(f, 0, b"data").unwrap();
+        assert!(fs.clock().now() > 0);
+    }
+}

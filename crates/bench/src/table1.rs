@@ -1,0 +1,52 @@
+//! Table 1: parameters of the HP97560 and Seagate ST19101 disks.
+
+use crate::format_table;
+use disksim::{ns_to_ms, DiskSpec};
+
+/// Regenerate Table 1 from the specs the simulator actually uses.
+pub fn run() -> String {
+    let hp = DiskSpec::hp97560_sim();
+    let st = DiskSpec::st19101_sim();
+    let row = |name: &str, f: &dyn Fn(&DiskSpec) -> String| vec![name.to_string(), f(&hp), f(&st)];
+    let rows = vec![
+        row("Sectors/Track (n)", &|d| {
+            d.geometry.sectors_per_track(0).expect("cyl 0").to_string()
+        }),
+        row("Tracks/Cyl (t)", &|d| {
+            d.geometry.tracks_per_cylinder().to_string()
+        }),
+        row("Head Switch (s)", &|d| {
+            format!("{:.1} ms", ns_to_ms(d.mech.head_switch_ns))
+        }),
+        row("Minimum Seek", &|d| {
+            format!("{:.1} ms", ns_to_ms(d.mech.seek_ns(1)))
+        }),
+        row("Rotation (RPM)", &|d| d.mech.rpm.to_string()),
+        row("SCSI Overhead (o)", &|d| {
+            format!("{:.1} ms", ns_to_ms(d.command_overhead_ns))
+        }),
+        row("Half Rotation", &|d| {
+            format!("{:.1} ms", ns_to_ms(d.half_rotation_ns()))
+        }),
+        row("Sim. Cylinders", &|d| d.geometry.cylinders().to_string()),
+        row("Sim. Capacity", &|d| {
+            format!("{:.1} MB", d.geometry.capacity_bytes() as f64 / 1e6)
+        }),
+    ];
+    format_table(
+        "Table 1: disk parameters",
+        &["Parameter", "HP97560", "ST19101"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reproduces_paper_values() {
+        let t = super::run();
+        for needle in ["72", "256", "19", "16", "4002", "10000", "2.3 ms", "0.1 ms"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+}

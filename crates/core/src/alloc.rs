@@ -1,0 +1,393 @@
+//! Eager-writing allocation: pick a free location near the disk head.
+//!
+//! Two strategies from the paper are implemented:
+//!
+//! * **Greedy** (§2.1/§2.2) — take the free sector (or aligned block)
+//!   reachable in minimum positioning time, searching the current cylinder
+//!   first and widening outward; the Figure 1 simulation uses the
+//!   bidirectional variant, the VLD the one-directional sweep of §4.2
+//!   ("cylinder seeks only in one direction until it reaches the last
+//!   cylinder"), which keeps the head from being trapped in full regions.
+//! * **Threshold fill** (§2.3/§4.2) — when the compactor keeps a pool of
+//!   empty tracks, fill the current empty track only up to a threshold
+//!   (75 % in the paper's experiments), then move on; fall back to greedy
+//!   once the pool is exhausted.
+//!
+//! All cost ranking uses the exact mechanical model via
+//! [`disksim::Disk::position_cost`], so the allocator is as informed as
+//! firmware running inside the drive — precisely the paper's premise.
+
+use crate::freemap::FreeMap;
+use disksim::{Disk, ServiceTime};
+
+/// A chosen allocation target and its predicted positioning cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Cylinder of the chosen location.
+    pub cyl: u32,
+    /// Track (head) of the chosen location.
+    pub track: u32,
+    /// First sector of the chosen location.
+    pub sector: u32,
+    /// Predicted seek + head switch + rotation to reach it.
+    pub cost: ServiceTime,
+}
+
+/// Allocator tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocConfig {
+    /// Data-block alignment in sectors (8 for the paper's 4 KB blocks).
+    pub block_sectors: u32,
+    /// Track-fill threshold: stop filling an empty track once its
+    /// utilisation reaches this fraction (paper: 0.75).
+    pub threshold: f64,
+    /// Use the one-directional cylinder sweep (the VLD behaviour). When
+    /// false, greedy searches both directions — the Figure 1 idealisation.
+    pub one_way_sweep: bool,
+    /// Prefer filling compactor-produced empty tracks to the threshold
+    /// before going greedy.
+    pub threshold_fill: bool,
+}
+
+impl Default for AllocConfig {
+    fn default() -> Self {
+        Self {
+            block_sectors: 8,
+            threshold: 0.75,
+            one_way_sweep: true,
+            threshold_fill: true,
+        }
+    }
+}
+
+/// Stateful eager allocator.
+#[derive(Debug, Clone)]
+pub struct EagerAllocator {
+    cfg: AllocConfig,
+    /// The empty track currently being filled under the threshold policy.
+    fill_track: Option<(u32, u32)>,
+    /// A track allocations must avoid (set while the compactor empties it,
+    /// so fresh writes don't re-pollute the victim).
+    avoid: Option<(u32, u32)>,
+}
+
+impl EagerAllocator {
+    /// Create an allocator with the given configuration.
+    pub fn new(cfg: AllocConfig) -> Self {
+        Self {
+            cfg,
+            fill_track: None,
+            avoid: None,
+        }
+    }
+
+    /// Forbid allocations on one track (compaction victim); `None` clears.
+    pub fn set_avoid(&mut self, track: Option<(u32, u32)>) {
+        self.avoid = track;
+        if self.avoid.is_some() && self.fill_track == self.avoid {
+            self.fill_track = None;
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AllocConfig {
+        &self.cfg
+    }
+
+    /// Choose a free aligned data block near the head. Returns `None` only
+    /// when no aligned block is free anywhere.
+    pub fn find_block(&mut self, disk: &Disk, free: &FreeMap) -> Option<Candidate> {
+        let align = self.cfg.block_sectors;
+        if self.cfg.threshold_fill {
+            if let Some(c) = self.fill_candidate(disk, free, align) {
+                return Some(c);
+            }
+        }
+        self.greedy(disk, free, align)
+    }
+
+    /// Choose a single free sector near the head (for map-sector appends).
+    /// Always greedy: the log entry goes wherever is cheapest right now.
+    pub fn find_sector(&mut self, disk: &Disk, free: &FreeMap) -> Option<Candidate> {
+        self.greedy(disk, free, 1)
+    }
+
+    /// Threshold-fill step: keep writing into the current fill track until
+    /// it reaches the threshold, then grab the nearest empty track.
+    fn fill_candidate(&mut self, disk: &Disk, free: &FreeMap, align: u32) -> Option<Candidate> {
+        // Keep filling the current track while it is under the threshold and
+        // still has room for an aligned slot.
+        if let Some((c, t)) = self.fill_track {
+            if free.track_utilization(c, t) < self.cfg.threshold {
+                if let Some(cand) = self.best_in_track(disk, free, c, t, align) {
+                    return Some(cand);
+                }
+            }
+            self.fill_track = None;
+        }
+        // Grab the nearest empty track from the compactor's pool; if the
+        // pool is dry, the caller falls back to greedy.
+        let next = free.nearest_empty_track(disk.head().cyl)?;
+        if Some(next) == self.avoid {
+            return None;
+        }
+        self.fill_track = Some(next);
+        self.best_in_track(disk, free, next.0, next.1, align)
+    }
+
+    /// Cheapest candidate on one track: the first free (aligned) slot in
+    /// rotational encounter order from the head's arrival position.
+    fn best_in_track(
+        &self,
+        disk: &Disk,
+        free: &FreeMap,
+        cyl: u32,
+        track: u32,
+        align: u32,
+    ) -> Option<Candidate> {
+        if self.avoid == Some((cyl, track)) {
+            return None;
+        }
+        let arrival = disk.arrival_sector(cyl, track).ok()?;
+        let sector = if align == 1 {
+            free.free_sectors_from(cyl, track, arrival).next()?
+        } else {
+            free.free_aligned_from(cyl, track, arrival, align)?
+        };
+        let cost = disk.position_cost(cyl, track, sector).ok()?;
+        Some(Candidate {
+            cyl,
+            track,
+            sector,
+            cost,
+        })
+    }
+
+    /// Cheapest candidate within one cylinder (all tracks considered).
+    fn best_in_cylinder(
+        &self,
+        disk: &Disk,
+        free: &FreeMap,
+        cyl: u32,
+        align: u32,
+    ) -> Option<Candidate> {
+        let tracks = free.tracks_in_cylinder();
+        (0..tracks)
+            .filter_map(|t| self.best_in_track(disk, free, cyl, t, align))
+            .min_by_key(|c| c.cost.total_ns())
+    }
+
+    /// Greedy search: current cylinder first, then widening. One-way mode
+    /// walks forward (wrapping) and takes the first cylinder with space;
+    /// two-way mode alternates ±d and prunes once the seek alone exceeds
+    /// the best candidate found.
+    fn greedy(&mut self, disk: &Disk, free: &FreeMap, align: u32) -> Option<Candidate> {
+        let cyls = free.cylinders();
+        let cur = disk.head().cyl;
+        if self.cfg.one_way_sweep {
+            for w in 0..cyls {
+                let c = (cur + w) % cyls;
+                if let Some(cand) = self.best_in_cylinder(disk, free, c, align) {
+                    return Some(cand);
+                }
+            }
+            None
+        } else {
+            let mut best: Option<Candidate> = None;
+            for d in 0..cyls {
+                if let Some(b) = &best {
+                    // Any candidate at distance >= d costs at least seek(d).
+                    if b.cost.total_ns() < disk.spec().mech.seek_ns(d) {
+                        break;
+                    }
+                }
+                for c in [cur.checked_sub(d), (cur + d < cyls).then_some(cur + d)]
+                    .into_iter()
+                    .flatten()
+                {
+                    if let Some(cand) = self.best_in_cylinder(disk, free, c, align) {
+                        if best.is_none()
+                            || cand.cost.total_ns()
+                                < best.as_ref().map(|b| b.cost.total_ns()).unwrap_or(u64::MAX)
+                        {
+                            best = Some(cand);
+                        }
+                    }
+                    if d == 0 {
+                        break;
+                    }
+                }
+            }
+            best
+        }
+    }
+
+    /// Forget the current fill track (e.g. after a compaction pass changed
+    /// the landscape).
+    pub fn reset_fill(&mut self) {
+        self.fill_track = None;
+    }
+
+    /// The empty track currently being filled, if the threshold policy has
+    /// one in hand. The compactor avoids choosing it as a victim.
+    pub fn fill_track(&self) -> Option<(u32, u32)> {
+        self.fill_track
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disksim::{DiskSpec, SimClock};
+
+    fn setup() -> (Disk, FreeMap) {
+        let mut spec = DiskSpec::hp97560_sim();
+        spec.command_overhead_ns = 0; // internal (in-drive) operation
+        let disk = Disk::new(spec, SimClock::new());
+        let free = FreeMap::new(&disk.spec().geometry);
+        (disk, free)
+    }
+
+    fn greedy_alloc(one_way: bool) -> EagerAllocator {
+        EagerAllocator::new(AllocConfig {
+            one_way_sweep: one_way,
+            threshold_fill: false,
+            ..AllocConfig::default()
+        })
+    }
+
+    #[test]
+    fn empty_disk_block_is_nearly_free_to_reach() {
+        let (disk, free) = setup();
+        let mut a = greedy_alloc(true);
+        let c = a.find_block(&disk, &free).unwrap();
+        // On an empty disk the very next aligned slot on the current track
+        // should win: no seek, no switch, under one block of rotation.
+        assert_eq!(c.cost.seek_ns, 0);
+        assert_eq!(c.cost.head_switch_ns, 0);
+        assert!(c.cost.rotation_ns <= 8 * disk.spec().mech.sector_ns(72));
+    }
+
+    #[test]
+    fn chosen_block_is_globally_optimal_two_way() {
+        let (disk, mut free) = setup();
+        // Occupy most of the current track to force a real decision.
+        free.allocate(0, 0, 0, 64).unwrap();
+        let mut a = greedy_alloc(false);
+        let c = a.find_block(&disk, &free).unwrap();
+        // Exhaustively verify optimality over every free aligned block.
+        let mut best = u64::MAX;
+        for cyl in 0..36 {
+            for t in 0..19 {
+                for slot in 0..(72 / 8) {
+                    let s = slot * 8;
+                    if free.run_free(cyl, t, s, 8) {
+                        let cost = disk.position_cost(cyl, t, s).unwrap().total_ns();
+                        best = best.min(cost);
+                    }
+                }
+            }
+        }
+        assert_eq!(c.cost.total_ns(), best);
+    }
+
+    #[test]
+    fn single_sector_allocation_prefers_current_track() {
+        let (disk, free) = setup();
+        let mut a = greedy_alloc(true);
+        let c = a.find_sector(&disk, &free).unwrap();
+        let h = disk.head();
+        assert_eq!((c.cyl, c.track), (h.cyl, h.track));
+        assert!(c.cost.rotation_ns <= 2 * disk.spec().mech.sector_ns(72));
+    }
+
+    #[test]
+    fn one_way_sweep_skips_full_cylinders_forward() {
+        let (mut disk, mut free) = setup();
+        disk.seek_to(5, 0).unwrap();
+        // Fill cylinders 5..8 completely.
+        for cyl in 5..8 {
+            for t in 0..19 {
+                free.allocate(cyl, t, 0, 72).unwrap();
+            }
+        }
+        let mut a = greedy_alloc(true);
+        let c = a.find_block(&disk, &free).unwrap();
+        assert_eq!(c.cyl, 8, "sweep must move forward, not back to cylinder 4");
+    }
+
+    #[test]
+    fn one_way_sweep_wraps_at_disk_end() {
+        let (mut disk, mut free) = setup();
+        disk.seek_to(35, 0).unwrap();
+        for t in 0..19 {
+            free.allocate(35, t, 0, 72).unwrap();
+        }
+        let mut a = greedy_alloc(true);
+        let c = a.find_block(&disk, &free).unwrap();
+        assert_eq!(c.cyl, 0);
+    }
+
+    #[test]
+    fn exhausted_disk_returns_none() {
+        let (disk, mut free) = setup();
+        for cyl in 0..36 {
+            for t in 0..19 {
+                free.allocate(cyl, t, 0, 72).unwrap();
+            }
+        }
+        let mut a = greedy_alloc(true);
+        assert!(a.find_block(&disk, &free).is_none());
+        assert!(a.find_sector(&disk, &free).is_none());
+        // A single free sector is enough for find_sector but not find_block.
+        free.release(10, 3, 17, 1).unwrap();
+        assert!(a.find_sector(&disk, &free).is_some());
+        assert!(a.find_block(&disk, &free).is_none());
+    }
+
+    #[test]
+    fn threshold_fill_sticks_to_one_track_until_threshold() {
+        let (disk, mut free) = setup();
+        let mut a = EagerAllocator::new(AllocConfig::default());
+        // 72 sectors/track, 9 blocks; 75% threshold -> 6 blocks and change.
+        let mut tracks_used = std::collections::HashSet::new();
+        for _ in 0..6 {
+            let c = a.find_block(&disk, &free).unwrap();
+            free.allocate(c.cyl, c.track, c.sector, 8).unwrap();
+            tracks_used.insert((c.cyl, c.track));
+        }
+        assert_eq!(tracks_used.len(), 1, "filled more than one track early");
+        // Utilization now 48/72 = 0.667 < 0.75: next block still same track.
+        let c = a.find_block(&disk, &free).unwrap();
+        assert!(tracks_used.contains(&(c.cyl, c.track)));
+        free.allocate(c.cyl, c.track, c.sector, 8).unwrap();
+        // 56/72 = 0.778 >= 0.75: the policy must switch tracks now.
+        let c = a.find_block(&disk, &free).unwrap();
+        assert!(!tracks_used.contains(&(c.cyl, c.track)));
+    }
+
+    #[test]
+    fn threshold_fill_falls_back_to_greedy_without_empty_tracks() {
+        let (disk, mut free) = setup();
+        // Put one sector on every track: no empty tracks remain.
+        for cyl in 0..36 {
+            for t in 0..19 {
+                free.allocate(cyl, t, 0, 1).unwrap();
+            }
+        }
+        let mut a = EagerAllocator::new(AllocConfig::default());
+        let c = a.find_block(&disk, &free).unwrap();
+        assert!(free.run_free(c.cyl, c.track, c.sector, 8));
+    }
+
+    #[test]
+    fn reset_fill_releases_track() {
+        let (disk, mut free) = setup();
+        let mut a = EagerAllocator::new(AllocConfig::default());
+        let c = a.find_block(&disk, &free).unwrap();
+        free.allocate(c.cyl, c.track, c.sector, 8).unwrap();
+        a.reset_fill();
+        // Still works after the reset.
+        assert!(a.find_block(&disk, &free).is_some());
+    }
+}

@@ -1,0 +1,192 @@
+//! Periodic checkpoints of the piece directory (§3.3).
+//!
+//! "Periodically, we write the entire inode map to the disk contiguously.
+//! At recovery time ... [the system] traverses the virtual log backwards
+//! from the log tail towards the checkpoint." For the VLD's indirection
+//! map the analogue is the *piece directory*: the location and age of every
+//! live map piece. Two alternating slots in a fixed region just past the
+//! firmware block hold it; recovery uses the newest valid slot and only
+//! walks the log for entries younger than it.
+//!
+//! The checkpoint is also what makes recycling sound: a superseded map
+//! sector younger than the last checkpoint stays allocated (on the
+//! *pending* list) until the next checkpoint covers it — so the backward
+//! chain within the traversal window is always intact, no matter how hot a
+//! piece is. Sectors older than the checkpoint are recycled freely; the
+//! traversal never descends below the checkpoint sequence.
+
+use crate::checksum::crc32;
+use crate::log::PieceLoc;
+use crate::mapsector::NO_LBA;
+use disksim::SECTOR_BYTES;
+
+/// Magic for a checkpoint slot ("VCKP").
+pub const CKPT_MAGIC: u32 = 0x5643_4B50;
+
+const HEADER_BYTES: usize = 32;
+const ENTRY_BYTES: usize = 32;
+
+/// Placement of the two alternating checkpoint slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointRegion {
+    /// LBA of slot A.
+    pub slot_a: u64,
+    /// LBA of slot B.
+    pub slot_b: u64,
+    /// Sectors per slot.
+    pub sectors: u64,
+}
+
+impl CheckpointRegion {
+    /// Region layout for `n_pieces` pieces starting at `start_lba`,
+    /// block-aligned slots.
+    pub fn layout(start_lba: u64, n_pieces: usize, block_sectors: u64) -> CheckpointRegion {
+        let bytes = HEADER_BYTES + n_pieces * ENTRY_BYTES;
+        let sectors_raw = (bytes as u64).div_ceil(SECTOR_BYTES as u64);
+        let sectors = sectors_raw.div_ceil(block_sectors) * block_sectors;
+        CheckpointRegion {
+            slot_a: start_lba,
+            slot_b: start_lba + sectors,
+            sectors,
+        }
+    }
+
+    /// First LBA past the region.
+    pub fn end(&self) -> u64 {
+        self.slot_b + self.sectors
+    }
+}
+
+/// A decoded checkpoint: the piece directory at a moment in log time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Every log entry with `seq <` this value is covered by the directory
+    /// below; traversal never descends past it.
+    pub seq: u64,
+    /// Piece directory (index = piece number).
+    pub pieces: Vec<Option<PieceLoc>>,
+}
+
+impl Checkpoint {
+    /// Serialise into a slot image of exactly `sectors * SECTOR_BYTES`.
+    pub fn encode(&self, sectors: u64) -> Vec<u8> {
+        let mut buf = vec![0u8; sectors as usize * SECTOR_BYTES];
+        buf[0..4].copy_from_slice(&CKPT_MAGIC.to_le_bytes());
+        buf[4..6].copy_from_slice(&1u16.to_le_bytes()); // version
+        buf[8..12].copy_from_slice(&(self.pieces.len() as u32).to_le_bytes());
+        buf[16..24].copy_from_slice(&self.seq.to_le_bytes());
+        for (i, p) in self.pieces.iter().enumerate() {
+            let o = HEADER_BYTES + i * ENTRY_BYTES;
+            let (lba, seq, prev) = match p {
+                Some(loc) => (loc.lba, loc.seq, loc.prev),
+                None => (NO_LBA, 0, None),
+            };
+            let (plba, pseq) = prev.unwrap_or((NO_LBA, 0));
+            buf[o..o + 8].copy_from_slice(&lba.to_le_bytes());
+            buf[o + 8..o + 16].copy_from_slice(&seq.to_le_bytes());
+            buf[o + 16..o + 24].copy_from_slice(&plba.to_le_bytes());
+            buf[o + 24..o + 32].copy_from_slice(&pseq.to_le_bytes());
+        }
+        let sum = crc32(&buf);
+        buf[12..16].copy_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Decode and validate a slot image; `None` if invalid/torn.
+    pub fn decode(buf: &[u8]) -> Option<Checkpoint> {
+        if buf.len() < HEADER_BYTES {
+            return None;
+        }
+        if u32::from_le_bytes(buf[0..4].try_into().ok()?) != CKPT_MAGIC {
+            return None;
+        }
+        if u16::from_le_bytes(buf[4..6].try_into().ok()?) != 1 {
+            return None;
+        }
+        let stored = u32::from_le_bytes(buf[12..16].try_into().ok()?);
+        let mut copy = buf.to_vec();
+        copy[12..16].fill(0);
+        if crc32(&copy) != stored {
+            return None;
+        }
+        let n = u32::from_le_bytes(buf[8..12].try_into().ok()?) as usize;
+        if HEADER_BYTES + n * ENTRY_BYTES > buf.len() {
+            return None;
+        }
+        let seq = u64::from_le_bytes(buf[16..24].try_into().ok()?);
+        let mut pieces = Vec::with_capacity(n);
+        for i in 0..n {
+            let o = HEADER_BYTES + i * ENTRY_BYTES;
+            let lba = u64::from_le_bytes(buf[o..o + 8].try_into().ok()?);
+            if lba == NO_LBA {
+                pieces.push(None);
+                continue;
+            }
+            let pseq = u64::from_le_bytes(buf[o + 8..o + 16].try_into().ok()?);
+            let plba = u64::from_le_bytes(buf[o + 16..o + 24].try_into().ok()?);
+            let ppseq = u64::from_le_bytes(buf[o + 24..o + 32].try_into().ok()?);
+            pieces.push(Some(PieceLoc {
+                lba,
+                seq: pseq,
+                prev: (plba != NO_LBA).then_some((plba, ppseq)),
+            }));
+        }
+        Some(Checkpoint { seq, pieces })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            seq: 99,
+            pieces: vec![
+                Some(PieceLoc {
+                    lba: 800,
+                    seq: 42,
+                    prev: Some((640, 41)),
+                }),
+                None,
+                Some(PieceLoc {
+                    lba: 1600,
+                    seq: 77,
+                    prev: None,
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let region = CheckpointRegion::layout(8, c.pieces.len(), 8);
+        let img = c.encode(region.sectors);
+        assert_eq!(img.len() as u64, region.sectors * SECTOR_BYTES as u64);
+        assert_eq!(Checkpoint::decode(&img), Some(c));
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let c = sample();
+        let mut img = c.encode(8);
+        img[40] ^= 1;
+        assert_eq!(Checkpoint::decode(&img), None);
+        assert_eq!(Checkpoint::decode(&[0u8; 512]), None);
+    }
+
+    #[test]
+    fn region_layout_is_block_aligned_and_disjoint() {
+        let r = CheckpointRegion::layout(8, 51, 8);
+        assert_eq!(r.slot_a, 8);
+        assert_eq!(r.sectors % 8, 0);
+        assert!(r.slot_b >= r.slot_a + r.sectors);
+        assert_eq!(r.end(), r.slot_b + r.sectors);
+        // 51 pieces fit in one 4 KB block per slot.
+        assert_eq!(r.sectors, 8);
+        // Big directories grow the slots.
+        let big = CheckpointRegion::layout(8, 5000, 8);
+        assert!(big.sectors > 8);
+    }
+}

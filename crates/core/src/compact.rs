@@ -1,0 +1,504 @@
+//! The free-space compactor (§2.3, §4.2).
+//!
+//! During idle periods the drive can use the "free" bandwidth between head
+//! and platter to generate empty tracks: read a victim track, *hole-plug*
+//! its live blocks into free space on other (non-empty) tracks, and commit
+//! the moves through the virtual log. Unlike the LFS cleaner, which must
+//! move whole segments, this works at track granularity and can exploit
+//! short idle intervals — the contrast Figures 10 and 11 measure.
+//!
+//! Live map sectors found on a victim track are relocated by simply
+//! re-appending their piece to the log (which frees the old sector by
+//! construction).
+
+use crate::log::{VirtualLog, BLOCK_SECTORS};
+use crate::mapsector::{MapFlags, UNMAPPED};
+use disksim::{PhysAddr, Result, SECTOR_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How compaction victims are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Uniformly random among non-empty tracks — what the paper's VLD does
+    /// ("currently, we choose compaction targets randomly").
+    Random,
+    /// The least-utilised non-empty track first (cheapest empty track per
+    /// byte moved) — an ablation alternative.
+    LeastUtilized,
+}
+
+/// Compactor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactorConfig {
+    /// Victim selection policy.
+    pub policy: VictimPolicy,
+    /// Stop once this many completely empty tracks exist.
+    pub target_empty_tracks: u32,
+    /// RNG seed (runs are deterministic in simulation).
+    pub seed: u64,
+}
+
+impl Default for CompactorConfig {
+    fn default() -> Self {
+        Self {
+            policy: VictimPolicy::Random,
+            target_empty_tracks: 64,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Counters for compactor activity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactStats {
+    /// Idle nanoseconds actually consumed by compaction.
+    pub consumed_ns: u64,
+    /// Victim tracks fully emptied.
+    pub tracks_emptied: u64,
+    /// Data blocks relocated.
+    pub blocks_moved: u64,
+    /// Map pieces re-appended to relocate their sectors.
+    pub pieces_relocated: u64,
+}
+
+/// The idle-time free-space compactor.
+#[derive(Debug)]
+pub struct Compactor {
+    cfg: CompactorConfig,
+    rng: StdRng,
+    stats: CompactStats,
+}
+
+impl Compactor {
+    /// Create a compactor with the given configuration.
+    pub fn new(cfg: CompactorConfig) -> Self {
+        Self {
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            stats: CompactStats::default(),
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CompactStats {
+        self.stats
+    }
+
+    /// Run for at most `budget_ns` of simulated time; returns the time
+    /// actually consumed. Stops early when the empty-track pool reaches its
+    /// target or no suitable victim exists.
+    pub fn run(&mut self, vlog: &mut VirtualLog, budget_ns: u64) -> u64 {
+        let clock = vlog.disk().clock();
+        let start = clock.now();
+        let deadline = start + budget_ns;
+        // The pool can never exceed the free space; chasing a larger target
+        // would repack the same data forever.
+        let spt0 = vlog.free_map().sectors_per_track(0) as u64;
+        let achievable = (vlog.free_map().free_sectors() / spt0).saturating_sub(2) as u32;
+        let target = self.cfg.target_empty_tracks.min(achievable);
+        while clock.now() < deadline {
+            if vlog.free_map().empty_tracks() >= target {
+                break;
+            }
+            let Some(victim) = self.choose_victim(vlog) else {
+                break;
+            };
+            let outcome = self.compact_track(vlog, victim, deadline);
+            vlog.alloc.set_avoid(None);
+            match outcome {
+                Ok(true) => {
+                    self.stats.tracks_emptied += 1;
+                    vlog.stats.tracks_emptied += 1;
+                }
+                Ok(false) => break, // out of budget mid-track
+                Err(_) => break,    // no destination space: nothing to gain
+            }
+        }
+        let consumed = clock.now() - start;
+        self.stats.consumed_ns += consumed;
+        consumed
+    }
+
+    /// Pick a victim track containing live data (or live map sectors), per
+    /// policy. Never picks the allocator's current fill track.
+    fn choose_victim(&mut self, vlog: &VirtualLog) -> Option<(u32, u32)> {
+        let free = vlog.free_map();
+        let cyls = free.cylinders();
+        let tracks = free.tracks_in_cylinder();
+        let fill = vlog.alloc.fill_track();
+        let eligible = |c: u32, t: u32| {
+            let ti = free.track_index(c, t);
+            let spt = free.sectors_per_track(ti);
+            let used = spt - free.free_in_track(c, t);
+            used > 0 && Some((c, t)) != fill && !Self::is_firmware_track(c, t)
+        };
+        match self.cfg.policy {
+            VictimPolicy::Random => {
+                for _ in 0..256 {
+                    let c = self.rng.gen_range(0..cyls);
+                    let t = self.rng.gen_range(0..tracks);
+                    if eligible(c, t) {
+                        return Some((c, t));
+                    }
+                }
+                // Sparse disk: fall back to a scan.
+                (0..cyls)
+                    .flat_map(|c| (0..tracks).map(move |t| (c, t)))
+                    .find(|&(c, t)| eligible(c, t))
+            }
+            VictimPolicy::LeastUtilized => (0..cyls)
+                .flat_map(|c| (0..tracks).map(move |t| (c, t)))
+                .filter(|&(c, t)| eligible(c, t))
+                .min_by(|&(c1, t1), &(c2, t2)| {
+                    free.track_utilization(c1, t1)
+                        .partial_cmp(&free.track_utilization(c2, t2))
+                        .expect("utilisations are finite")
+                }),
+        }
+    }
+
+    fn is_firmware_track(cyl: u32, track: u32) -> bool {
+        // The firmware area occupies the first sectors of (0, 0); that track
+        // can never be emptied, so don't waste idle time on it.
+        cyl == 0 && track == 0
+    }
+
+    /// Empty one victim track. Returns Ok(true) if the track was fully
+    /// emptied, Ok(false) if the budget expired first (partial progress is
+    /// kept — every completed move is committed).
+    fn compact_track(
+        &mut self,
+        vlog: &mut VirtualLog,
+        (vc, vt): (u32, u32),
+        deadline: u64,
+    ) -> Result<bool> {
+        let clock = vlog.disk().clock();
+        let g = vlog.disk().spec().geometry.clone();
+        let spt = g.sectors_per_track(vc)?;
+        let start_lba = g.track_start_lba(vc, vt)?;
+        // Nothing — data or map sectors — may land on the victim while it
+        // is being emptied, or it never empties.
+        vlog.alloc.set_avoid(Some((vc, vt)));
+
+        // One whole-track read: the compactor works at track granularity.
+        let mut track_buf = vec![0u8; spt as usize * SECTOR_BYTES];
+        vlog.disk_mut().read_sectors(start_lba, &mut track_buf)?;
+
+        // Collect the live data blocks on this track.
+        let mut moves: Vec<(u32, u64, usize)> = Vec::new(); // (old_pb, lb, buf offset)
+        for slot in 0..spt / BLOCK_SECTORS {
+            let sector = slot * BLOCK_SECTORS;
+            let pb = ((start_lba + sector as u64) / BLOCK_SECTORS as u64) as u32;
+            let lb = vlog.rmap_lookup(pb);
+            if lb != UNMAPPED {
+                moves.push((pb, lb as u64, sector as usize * SECTOR_BYTES));
+            }
+        }
+
+        // Group the moves by map piece so each piece commits exactly once.
+        moves.sort_by_key(|&(_, lb, _)| vlog.piece_of(lb));
+
+        // Hole-plug the data blocks elsewhere, committing per map piece.
+        let mut batch: Vec<(u64, usize)> = Vec::new();
+        let mut current_piece: Option<u32> = None;
+        let flush =
+            |vlog: &mut VirtualLog, batch: &mut Vec<(u64, usize)>, piece: u32| -> Result<()> {
+                if batch.is_empty() {
+                    return Ok(());
+                }
+                vlog.append_piece(piece, MapFlags::EMPTY, None)?;
+                vlog.release_superseded();
+                batch.clear();
+                Ok(())
+            };
+        for (old_pb, lb, off) in moves {
+            if clock.now() >= deadline {
+                if let Some(p) = current_piece {
+                    flush(vlog, &mut batch, p)?;
+                }
+                vlog.alloc.set_avoid(None);
+                return Ok(false);
+            }
+            let piece = vlog.piece_of(lb);
+            if let Some(cur) = current_piece {
+                if cur != piece {
+                    flush(vlog, &mut batch, cur)?;
+                }
+            }
+            current_piece = Some(piece);
+            let data = &track_buf[off..off + BLOCK_SECTORS as usize * SECTOR_BYTES];
+            vlog.relocate_block(lb, old_pb, data, (vc, vt))?;
+            self.stats.blocks_moved += 1;
+            batch.push((lb, off));
+        }
+        if let Some(p) = current_piece {
+            flush(vlog, &mut batch, p)?;
+        }
+
+        // Relocate any live map sectors still on the victim track by
+        // re-appending their pieces; a checkpoint then releases the
+        // superseded blocks (they are pending until one covers them).
+        let resident: Vec<u32> = vlog.pieces_on_track(vc, vt, &g);
+        let relocated = !resident.is_empty();
+        for piece in resident {
+            if clock.now() >= deadline {
+                vlog.alloc.set_avoid(None);
+                return Ok(false);
+            }
+            vlog.append_piece(piece, MapFlags::EMPTY, None)?;
+            vlog.release_superseded();
+            self.stats.pieces_relocated += 1;
+        }
+        if relocated || vlog.pending_recycle_on_track(vc, vt, &g) {
+            vlog.checkpoint()?;
+        }
+        vlog.alloc.set_avoid(None);
+        Ok(vlog.free_map().free_in_track(vc, vt) == spt)
+    }
+}
+
+impl VirtualLog {
+    /// Reverse-map lookup: which logical block lives in physical block `pb`.
+    pub(crate) fn rmap_lookup(&self, pb: u32) -> u32 {
+        self.rmap[pb as usize]
+    }
+
+    /// Pieces whose live map sector sits on the given track.
+    pub(crate) fn pieces_on_track(&self, cyl: u32, track: u32, g: &disksim::Geometry) -> Vec<u32> {
+        self.pieces
+            .iter()
+            .enumerate()
+            .filter_map(|(i, loc)| {
+                let loc = loc.as_ref()?;
+                let p = g.lba_to_phys(loc.lba).ok()?;
+                (p.cyl == cyl && p.track == track).then_some(i as u32)
+            })
+            .collect()
+    }
+
+    /// Move one live data block off a victim track into a hole elsewhere
+    /// (never back onto the victim, and preferring non-empty tracks so the
+    /// compactor's output pool isn't consumed by its own input).
+    pub(crate) fn relocate_block(
+        &mut self,
+        lb: u64,
+        old_pb: u32,
+        data: &[u8],
+        victim: (u32, u32),
+    ) -> Result<()> {
+        let cand = self
+            .find_plug_destination(victim)
+            .ok_or(disksim::DiskError::NoSpace)?;
+        let lba = self.disk.phys_to_lba(PhysAddr {
+            cyl: cand.0,
+            track: cand.1,
+            sector: cand.2,
+        })?;
+        self.disk.write_sectors(lba, data)?;
+        self.free.allocate(cand.0, cand.1, cand.2, BLOCK_SECTORS)?;
+        let new_pb = (lba / BLOCK_SECTORS as u64) as u32;
+        self.map[lb as usize] = new_pb;
+        self.rmap[new_pb as usize] = lb as u32;
+        // The old copy is dead the moment the covering map piece commits;
+        // defer its release exactly like an overwrite.
+        self.defer_block_release(old_pb);
+        self.stats.blocks_moved += 1;
+        Ok(())
+    }
+
+    /// A hole-plugging destination: cheapest free aligned block on a
+    /// *non-empty*, non-victim track, widening outward from the head; empty
+    /// tracks are used only as a last resort.
+    fn find_plug_destination(&self, victim: (u32, u32)) -> Option<(u32, u32, u32)> {
+        let head = self.disk.head();
+        let cyls = self.free.cylinders();
+        let tracks = self.free.tracks_in_cylinder();
+        let mut last_resort: Option<(u32, u32, u32)> = None;
+        for d in 0..cyls {
+            for cyl in [
+                head.cyl.checked_sub(d),
+                (head.cyl + d < cyls).then_some(head.cyl + d),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                let mut best: Option<(u64, (u32, u32, u32))> = None;
+                for t in 0..tracks {
+                    if (cyl, t) == victim {
+                        continue;
+                    }
+                    let Ok(arrival) = self.disk.arrival_sector(cyl, t) else {
+                        continue;
+                    };
+                    let Some(sector) = self.free.free_aligned_from(cyl, t, arrival, BLOCK_SECTORS)
+                    else {
+                        continue;
+                    };
+                    let ti = self.free.track_index(cyl, t);
+                    let empty = self.free.free_in_track(cyl, t) == self.free.sectors_per_track(ti);
+                    if empty {
+                        if last_resort.is_none() {
+                            last_resort = Some((cyl, t, sector));
+                        }
+                        continue;
+                    }
+                    let Ok(cost) = self.disk.position_cost(cyl, t, sector) else {
+                        continue;
+                    };
+                    let cost = cost.total_ns();
+                    if best.map(|(c, _)| cost < c).unwrap_or(true) {
+                        best = Some((cost, (cyl, t, sector)));
+                    }
+                }
+                if let Some((_, found)) = best {
+                    return Some(found);
+                }
+                if d == 0 {
+                    break;
+                }
+            }
+        }
+        last_resort
+    }
+
+    /// Queue a physical block for release at the next commit point.
+    pub(crate) fn defer_block_release(&mut self, pb: u32) {
+        self.deferred_blocks.push(pb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocConfig;
+    use disksim::{Disk, DiskSpec, SimClock};
+
+    fn fresh() -> VirtualLog {
+        let mut spec = DiskSpec::hp97560_sim();
+        spec.command_overhead_ns = 0;
+        VirtualLog::format(Disk::new(spec, SimClock::new()), AllocConfig::default())
+    }
+
+    fn fill_fraction(v: &mut VirtualLog, frac: f64) -> u64 {
+        let n = (v.num_blocks() as f64 * frac) as u64;
+        let buf = vec![0x11u8; crate::log::BLOCK_BYTES];
+        for lb in 0..n {
+            v.write(lb, &buf).unwrap();
+        }
+        n
+    }
+
+    #[test]
+    fn compaction_creates_empty_tracks() {
+        let mut v = fresh();
+        // Fill 60%, then punch holes by overwriting a scattered subset —
+        // overwrites free the old locations, leaving holey tracks.
+        let n = fill_fraction(&mut v, 0.6);
+        let buf = vec![0x22u8; crate::log::BLOCK_BYTES];
+        for lb in (0..n).step_by(3) {
+            v.write(lb, &buf).unwrap();
+        }
+        let before = v.free_map().empty_tracks();
+        let mut c = Compactor::new(CompactorConfig {
+            target_empty_tracks: before + 4,
+            ..CompactorConfig::default()
+        });
+        let consumed = c.run(&mut v, 60_000_000_000); // generous budget
+        assert!(consumed > 0);
+        assert!(
+            v.free_map().empty_tracks() >= before + 4,
+            "empty tracks {} -> {}",
+            before,
+            v.free_map().empty_tracks()
+        );
+        assert!(c.stats().blocks_moved > 0);
+    }
+
+    #[test]
+    fn compaction_preserves_data() {
+        let mut v = fresh();
+        let n = 200u64;
+        for lb in 0..n {
+            v.write(lb, &vec![lb as u8; crate::log::BLOCK_BYTES])
+                .unwrap();
+        }
+        // Punch holes.
+        for lb in (0..n).step_by(2) {
+            v.write(lb, &vec![(lb as u8) ^ 0xFF; crate::log::BLOCK_BYTES])
+                .unwrap();
+        }
+        let mut c = Compactor::new(CompactorConfig::default());
+        c.run(&mut v, 30_000_000_000);
+        for lb in 0..n {
+            let mut buf = vec![0u8; crate::log::BLOCK_BYTES];
+            v.read(lb, &mut buf).unwrap();
+            let want = if lb % 2 == 0 {
+                (lb as u8) ^ 0xFF
+            } else {
+                lb as u8
+            };
+            assert!(
+                buf.iter().all(|&b| b == want),
+                "block {lb} corrupted by compaction"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_limits_consumption() {
+        let mut v = fresh();
+        fill_fraction(&mut v, 0.5);
+        let buf = vec![0x33u8; crate::log::BLOCK_BYTES];
+        for lb in (0..v.num_blocks() / 2).step_by(2) {
+            v.write(lb, &buf).unwrap();
+        }
+        let mut c = Compactor::new(CompactorConfig {
+            target_empty_tracks: u32::MAX,
+            ..CompactorConfig::default()
+        });
+        let budget = 50_000_000; // 50 ms
+        let consumed = c.run(&mut v, budget);
+        // Allowed to overshoot by at most one track read + one move cycle.
+        assert!(consumed < budget + 100_000_000, "consumed {consumed}");
+        assert!(consumed > 0);
+    }
+
+    #[test]
+    fn zero_budget_consumes_nothing() {
+        let mut v = fresh();
+        fill_fraction(&mut v, 0.3);
+        let mut c = Compactor::new(CompactorConfig::default());
+        assert_eq!(c.run(&mut v, 0), 0);
+    }
+
+    #[test]
+    fn stops_at_target_pool() {
+        let mut v = fresh();
+        // Nearly empty disk: plenty of empty tracks already.
+        v.write(0, &vec![1u8; crate::log::BLOCK_BYTES]).unwrap();
+        let mut c = Compactor::new(CompactorConfig {
+            target_empty_tracks: 1,
+            ..CompactorConfig::default()
+        });
+        assert_eq!(c.run(&mut v, 1_000_000_000), 0, "pool already at target");
+    }
+
+    #[test]
+    fn least_utilized_policy_works() {
+        let mut v = fresh();
+        fill_fraction(&mut v, 0.4);
+        let buf = vec![0x44u8; crate::log::BLOCK_BYTES];
+        for lb in (0..v.num_blocks() * 2 / 5).step_by(4) {
+            v.write(lb, &buf).unwrap();
+        }
+        let before = v.free_map().empty_tracks();
+        let mut c = Compactor::new(CompactorConfig {
+            policy: VictimPolicy::LeastUtilized,
+            target_empty_tracks: before + 2,
+            seed: 7,
+        });
+        c.run(&mut v, 60_000_000_000);
+        assert!(v.free_map().empty_tracks() >= before + 2);
+    }
+}

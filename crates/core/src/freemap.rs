@@ -1,0 +1,379 @@
+//! Sector-granularity free-space accounting, organised by track.
+//!
+//! Eager writing is all about knowing, cheaply, which sectors near the head
+//! are free. [`FreeMap`] keeps one bitmap per track plus per-track free
+//! counts, so the allocator can ask:
+//!
+//! * is this sector (or 8-sector-aligned block) free?
+//! * how full is this track? (drives the fill-to-threshold policy of §2.3)
+//! * which tracks are completely empty? (the compactor's output pool)
+//!
+//! The map is an in-memory structure; after a crash it is reconstructed from
+//! the recovered indirection map (everything not live is free).
+
+use disksim::{Geometry, Result};
+
+/// Bitmapped free-sector map over an entire disk.
+#[derive(Debug, Clone)]
+pub struct FreeMap {
+    /// One bitmap word-vector per track, indexed by global track number.
+    bits: Vec<Vec<u64>>,
+    /// Free sectors per track.
+    free_count: Vec<u32>,
+    /// Sectors per track, per global track (varies across zones).
+    spt: Vec<u32>,
+    /// Tracks per cylinder, for global-track indexing.
+    tracks_per_cyl: u32,
+    /// Total free sectors.
+    total_free: u64,
+    /// Total sectors.
+    total: u64,
+    /// Number of completely empty tracks.
+    empty_tracks: u32,
+}
+
+impl FreeMap {
+    /// Build a map with every sector free.
+    pub fn new(geometry: &Geometry) -> Self {
+        let tracks_per_cyl = geometry.tracks_per_cylinder();
+        let n_tracks = geometry.cylinders() as usize * tracks_per_cyl as usize;
+        let mut bits = Vec::with_capacity(n_tracks);
+        let mut free_count = Vec::with_capacity(n_tracks);
+        let mut spt_v = Vec::with_capacity(n_tracks);
+        for cyl in 0..geometry.cylinders() {
+            let spt = geometry
+                .sectors_per_track(cyl)
+                .expect("cylinder in range by construction");
+            for _ in 0..tracks_per_cyl {
+                let words = (spt as usize).div_ceil(64);
+                let mut v = vec![u64::MAX; words];
+                // Mask off bits beyond the track end.
+                let excess = words * 64 - spt as usize;
+                if excess > 0 {
+                    *v.last_mut().expect("at least one word") >>= excess;
+                }
+                bits.push(v);
+                free_count.push(spt);
+                spt_v.push(spt);
+            }
+        }
+        let total = geometry.total_sectors();
+        Self {
+            bits,
+            free_count,
+            spt: spt_v,
+            tracks_per_cyl,
+            total_free: total,
+            total,
+            empty_tracks: n_tracks as u32,
+        }
+    }
+
+    /// Global track index for (cylinder, track).
+    #[inline]
+    pub fn track_index(&self, cyl: u32, track: u32) -> usize {
+        cyl as usize * self.tracks_per_cyl as usize + track as usize
+    }
+
+    /// Sectors per track at this global track index.
+    #[inline]
+    pub fn sectors_per_track(&self, ti: usize) -> u32 {
+        self.spt[ti]
+    }
+
+    /// Total sectors under management.
+    #[inline]
+    pub fn total_sectors(&self) -> u64 {
+        self.total
+    }
+
+    /// Free sectors remaining.
+    #[inline]
+    pub fn free_sectors(&self) -> u64 {
+        self.total_free
+    }
+
+    /// Fraction of sectors in use, 0.0–1.0.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.total_free as f64 / self.total as f64
+    }
+
+    /// Number of completely empty tracks.
+    #[inline]
+    pub fn empty_tracks(&self) -> u32 {
+        self.empty_tracks
+    }
+
+    /// Free sectors on the given track.
+    #[inline]
+    pub fn free_in_track(&self, cyl: u32, track: u32) -> u32 {
+        self.free_count[self.track_index(cyl, track)]
+    }
+
+    /// Is the single sector at (cyl, track, sector) free?
+    pub fn is_free(&self, cyl: u32, track: u32, sector: u32) -> bool {
+        let ti = self.track_index(cyl, track);
+        debug_assert!(sector < self.spt[ti]);
+        self.bits[ti][sector as usize / 64] >> (sector % 64) & 1 == 1
+    }
+
+    /// Are all `count` sectors starting at `sector` on this track free?
+    pub fn run_free(&self, cyl: u32, track: u32, sector: u32, count: u32) -> bool {
+        (sector..sector + count).all(|s| self.is_free(cyl, track, s))
+    }
+
+    fn set(&mut self, cyl: u32, track: u32, sector: u32, count: u32, free: bool) -> Result<()> {
+        let ti = self.track_index(cyl, track);
+        let spt = self.spt[ti];
+        if sector + count > spt {
+            return Err(disksim::DiskError::OutOfRange {
+                addr: (sector + count) as u64,
+                limit: spt as u64,
+            });
+        }
+        let was_empty = self.free_count[ti] == spt;
+        for s in sector..sector + count {
+            let w = &mut self.bits[ti][s as usize / 64];
+            let mask = 1u64 << (s % 64);
+            let cur = *w & mask != 0;
+            if cur != free {
+                if free {
+                    *w |= mask;
+                    self.free_count[ti] += 1;
+                    self.total_free += 1;
+                } else {
+                    *w &= !mask;
+                    self.free_count[ti] -= 1;
+                    self.total_free -= 1;
+                }
+            }
+        }
+        let now_empty = self.free_count[ti] == spt;
+        match (was_empty, now_empty) {
+            (true, false) => self.empty_tracks -= 1,
+            (false, true) => self.empty_tracks += 1,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Mark sectors in use. Idempotent.
+    pub fn allocate(&mut self, cyl: u32, track: u32, sector: u32, count: u32) -> Result<()> {
+        self.set(cyl, track, sector, count, false)
+    }
+
+    /// Mark sectors free. Idempotent.
+    pub fn release(&mut self, cyl: u32, track: u32, sector: u32, count: u32) -> Result<()> {
+        self.set(cyl, track, sector, count, true)
+    }
+
+    /// Iterate the free single sectors of a track, starting the scan at
+    /// `from_sector` and wrapping around — i.e. in rotational encounter
+    /// order for a head arriving at `from_sector`.
+    pub fn free_sectors_from(
+        &self,
+        cyl: u32,
+        track: u32,
+        from_sector: u32,
+    ) -> impl Iterator<Item = u32> + '_ {
+        let ti = self.track_index(cyl, track);
+        let spt = self.spt[ti];
+        let bits = &self.bits[ti];
+        (0..spt).filter_map(move |i| {
+            let s = (from_sector + i) % spt;
+            (bits[s as usize / 64] >> (s % 64) & 1 == 1).then_some(s)
+        })
+    }
+
+    /// First free aligned run of `align` sectors on the track at or after
+    /// `from_sector` (wrapping), in rotational encounter order.
+    pub fn free_aligned_from(
+        &self,
+        cyl: u32,
+        track: u32,
+        from_sector: u32,
+        align: u32,
+    ) -> Option<u32> {
+        self.free_aligned_iter(cyl, track, from_sector, align)
+            .next()
+    }
+
+    /// All free aligned runs of `align` sectors, in rotational encounter
+    /// order starting from `from_sector`.
+    pub fn free_aligned_iter(
+        &self,
+        cyl: u32,
+        track: u32,
+        from_sector: u32,
+        align: u32,
+    ) -> impl Iterator<Item = u32> + '_ {
+        let ti = self.track_index(cyl, track);
+        let spt = self.spt[ti];
+        let slots = spt / align;
+        let start_slot = from_sector.div_ceil(align) % slots.max(1);
+        (0..slots).filter_map(move |i| {
+            let slot = (start_slot + i) % slots;
+            let s = slot * align;
+            self.run_free(cyl, track, s, align).then_some(s)
+        })
+    }
+
+    /// Find the nearest completely empty track to `cyl`, scanning outward in
+    /// cylinder distance. Returns (cyl, track).
+    pub fn nearest_empty_track(&self, cyl: u32) -> Option<(u32, u32)> {
+        let cyls = (self.bits.len() / self.tracks_per_cyl as usize) as u32;
+        for d in 0..cyls {
+            for candidate in [cyl.checked_sub(d), (cyl + d < cyls).then_some(cyl + d)]
+                .into_iter()
+                .flatten()
+            {
+                for t in 0..self.tracks_per_cyl {
+                    let ti = self.track_index(candidate, t);
+                    if self.free_count[ti] == self.spt[ti] {
+                        return Some((candidate, t));
+                    }
+                }
+                if d == 0 {
+                    break; // don't test cyl twice
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of cylinders under management.
+    pub fn cylinders(&self) -> u32 {
+        (self.bits.len() / self.tracks_per_cyl as usize) as u32
+    }
+
+    /// Tracks per cylinder.
+    pub fn tracks_in_cylinder(&self) -> u32 {
+        self.tracks_per_cyl
+    }
+
+    /// Utilisation of one track, 0.0 (empty) – 1.0 (full).
+    pub fn track_utilization(&self, cyl: u32, track: u32) -> f64 {
+        let ti = self.track_index(cyl, track);
+        1.0 - self.free_count[ti] as f64 / self.spt[ti] as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> FreeMap {
+        FreeMap::new(&Geometry::uniform(4, 2, 16))
+    }
+
+    #[test]
+    fn starts_all_free() {
+        let m = map();
+        assert_eq!(m.total_sectors(), 128);
+        assert_eq!(m.free_sectors(), 128);
+        assert_eq!(m.empty_tracks(), 8);
+        assert!(m.is_free(3, 1, 15));
+        assert_eq!(m.utilization(), 0.0);
+    }
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut m = map();
+        m.allocate(1, 0, 4, 8).unwrap();
+        assert!(!m.is_free(1, 0, 4));
+        assert!(!m.is_free(1, 0, 11));
+        assert!(m.is_free(1, 0, 3));
+        assert_eq!(m.free_in_track(1, 0), 8);
+        assert_eq!(m.free_sectors(), 120);
+        assert_eq!(m.empty_tracks(), 7);
+        m.release(1, 0, 4, 8).unwrap();
+        assert_eq!(m.free_sectors(), 128);
+        assert_eq!(m.empty_tracks(), 8);
+    }
+
+    #[test]
+    fn allocation_is_idempotent() {
+        let mut m = map();
+        m.allocate(0, 0, 0, 4).unwrap();
+        m.allocate(0, 0, 0, 4).unwrap();
+        assert_eq!(m.free_sectors(), 124);
+        m.release(0, 0, 0, 2).unwrap();
+        m.release(0, 0, 0, 2).unwrap();
+        assert_eq!(m.free_sectors(), 126);
+    }
+
+    #[test]
+    fn out_of_track_alloc_fails() {
+        let mut m = map();
+        assert!(m.allocate(0, 0, 14, 4).is_err());
+    }
+
+    #[test]
+    fn free_sectors_from_is_rotational_order() {
+        let mut m = map();
+        m.allocate(0, 0, 0, 16).unwrap();
+        m.release(0, 0, 2, 1).unwrap();
+        m.release(0, 0, 10, 1).unwrap();
+        let order: Vec<u32> = m.free_sectors_from(0, 0, 5).collect();
+        assert_eq!(order, vec![10, 2]);
+        let order: Vec<u32> = m.free_sectors_from(0, 0, 0).collect();
+        assert_eq!(order, vec![2, 10]);
+    }
+
+    #[test]
+    fn aligned_search_respects_alignment() {
+        let mut m = map();
+        // Occupy sector 1: block [0,8) is no longer free, block [8,16) is.
+        m.allocate(0, 0, 1, 1).unwrap();
+        assert_eq!(m.free_aligned_from(0, 0, 0, 8), Some(8));
+        // From sector 9 the wrap search still only returns slot 8.
+        assert_eq!(m.free_aligned_from(0, 0, 9, 8), Some(8));
+        m.allocate(0, 0, 8, 8).unwrap();
+        assert_eq!(m.free_aligned_from(0, 0, 0, 8), None);
+    }
+
+    #[test]
+    fn aligned_iter_starts_at_next_boundary() {
+        let m = map();
+        let v: Vec<u32> = m.free_aligned_iter(0, 0, 3, 8).collect();
+        assert_eq!(v, vec![8, 0]);
+    }
+
+    #[test]
+    fn nearest_empty_track_scans_outward() {
+        let mut m = map();
+        // Fill every track except (3, 1) with one sector.
+        for c in 0..4 {
+            for t in 0..2 {
+                if (c, t) != (3, 1) {
+                    m.allocate(c, t, 0, 1).unwrap();
+                }
+            }
+        }
+        assert_eq!(m.nearest_empty_track(0), Some((3, 1)));
+        assert_eq!(m.nearest_empty_track(3), Some((3, 1)));
+        m.allocate(3, 1, 0, 1).unwrap();
+        assert_eq!(m.nearest_empty_track(0), None);
+    }
+
+    #[test]
+    fn track_utilization_tracks_fill() {
+        let mut m = map();
+        assert_eq!(m.track_utilization(0, 0), 0.0);
+        m.allocate(0, 0, 0, 8).unwrap();
+        assert!((m.track_utilization(0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_on_wide_tracks() {
+        // 256-sector ST19101 tracks span four bitmap words.
+        let g = Geometry::uniform(2, 2, 256);
+        let mut m = FreeMap::new(&g);
+        m.allocate(1, 1, 250, 6).unwrap();
+        assert!(!m.is_free(1, 1, 255));
+        assert!(m.is_free(1, 1, 249));
+        assert_eq!(m.free_in_track(1, 1), 250);
+        let firsts: Vec<u32> = m.free_sectors_from(1, 1, 249).take(2).collect();
+        assert_eq!(firsts, vec![249, 0]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Crash recovery: rebuild the indirection map from the checkpoint plus
+//! the virtual-log tail.
+//!
+//! Normal boot (the fast path of §3.2/§3.3):
+//!
+//! 1. read the firmware **tail record** (checksummed; written by the
+//!    power-down sequence, cleared after every recovery so it can never be
+//!    trusted stale);
+//! 2. read the two alternating **checkpoint** slots and take the newest
+//!    valid piece directory;
+//! 3. traverse the log tree from the tail, youngest-first, down to the
+//!    checkpoint horizon — within that window nothing has been recycled
+//!    (superseded piece blocks wait on the pending list until a checkpoint
+//!    covers them), so the chain is intact by construction;
+//! 4. load the remaining live pieces straight from the checkpoint
+//!    directory.
+//!
+//! Youngest-first order (a max-heap on the sequence number every pointer
+//! carries) guarantees that the first version of a piece seen is the live
+//! one and that a transaction's commit record is visited before its parts,
+//! so uncommitted payloads are recognised and skipped.
+//!
+//! If the tail record is missing or corrupt (failed power-down), recovery
+//! falls back to **scanning** the disk for self-identifying map sectors:
+//! the traversal restarts from the youngest entry found, and any piece the
+//! walk cannot reach is mined directly from the scan — every live piece
+//! version is physically present and self-identifying, so scan recovery
+//! succeeds regardless of chain damage.
+//!
+//! Recovery ends by clearing the tail record and writing a fresh
+//! checkpoint, which re-establishes the recycling invariant for the next
+//! epoch.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::alloc::{AllocConfig, EagerAllocator};
+use crate::checkpoint::{Checkpoint, CheckpointRegion};
+use crate::freemap::FreeMap;
+use crate::log::{PieceLoc, VirtualLog, BLOCK_SECTORS};
+use crate::mapsector::{MapFlags, MapSector, PIECE_BYTES, PIECE_ENTRIES, UNMAPPED};
+use crate::tail::{TailRecord, FIRMWARE_SECTORS, TAIL_LBA};
+use disksim::{Disk, Result, ServiceTime, SECTOR_BYTES};
+
+/// What happened during a recovery pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    /// True if the firmware tail record was present and valid.
+    pub used_tail: bool,
+    /// Sequence horizon of the checkpoint recovery booted from.
+    pub checkpoint_seq: u64,
+    /// Sectors read by the scan fallback (0 when the tail was valid).
+    pub scanned_sectors: u64,
+    /// Log sectors visited during traversal.
+    pub sectors_traversed: u64,
+    /// Branches pruned because the target was invalid.
+    pub branches_pruned: u64,
+    /// Pieces taken from the checkpoint directory (not seen in the window).
+    pub pieces_from_checkpoint: u64,
+    /// Pieces recovered in total.
+    pub pieces_recovered: u64,
+    /// Map sectors whose payload was skipped as uncommitted transaction
+    /// parts.
+    pub uncommitted_skipped: u64,
+    /// Total simulated time the recovery consumed.
+    pub service: ServiceTime,
+}
+
+impl VirtualLog {
+    /// Recover a virtual log from a disk image (e.g. after
+    /// [`VirtualLog::crash`] or a normal shutdown).
+    pub fn recover(mut disk: Disk, alloc_cfg: AllocConfig) -> Result<(Self, RecoveryReport)> {
+        let mut report = RecoveryReport::default();
+
+        let total_sectors = disk.spec().geometry.total_sectors();
+        let num_logical = Self::logical_capacity(total_sectors);
+        let n_pieces = (num_logical as usize).div_ceil(PIECE_ENTRIES);
+        let region = CheckpointRegion::layout(FIRMWARE_SECTORS, n_pieces, BLOCK_SECTORS as u64);
+
+        // 1. The firmware tail record.
+        let mut tail_buf = [0u8; SECTOR_BYTES];
+        report.service += disk.read_sectors(TAIL_LBA, &mut tail_buf)?;
+        let tail = TailRecord::decode(&tail_buf);
+        report.used_tail = tail.is_some();
+
+        // 2. The newest valid checkpoint.
+        let mut slot_buf = vec![0u8; region.sectors as usize * SECTOR_BYTES];
+        let mut best: Option<(Checkpoint, bool)> = None;
+        for (lba, is_b) in [(region.slot_a, false), (region.slot_b, true)] {
+            report.service += disk.read_sectors(lba, &mut slot_buf)?;
+            if let Some(ck) = Checkpoint::decode(&slot_buf) {
+                if best.as_ref().map(|(b, _)| ck.seq > b.seq).unwrap_or(true) {
+                    best = Some((ck, is_b));
+                }
+            }
+        }
+        let (base, base_was_b) = best.unwrap_or((
+            Checkpoint {
+                seq: 0,
+                pieces: vec![None; n_pieces],
+            },
+            false,
+        ));
+        report.checkpoint_seq = base.seq;
+
+        // 3. Find the root: tail record, or scan fallback.
+        let mut scan_cache: HashMap<u64, MapSector> = HashMap::new();
+        let (root, mut next_seq) = match tail {
+            Some(t) => (t.root, t.next_seq),
+            None => {
+                let (cache, scanned, t) = scan_disk(&mut disk)?;
+                report.scanned_sectors = scanned;
+                report.service += t;
+                let root = cache
+                    .iter()
+                    .max_by_key(|(_, m)| m.seq)
+                    .map(|(lba, m)| (*lba, m.seq));
+                let next = cache.values().map(|m| m.seq + 1).max().unwrap_or(1);
+                scan_cache = cache;
+                (root, next)
+            }
+        };
+
+        // 4. Youngest-first traversal of the window above the checkpoint.
+        let mut resolved: HashMap<u32, MapSector> = HashMap::new();
+        let mut piece_locs: Vec<Option<PieceLoc>> = vec![None; n_pieces];
+        let mut committed: HashSet<u64> = HashSet::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut heap: BinaryHeap<(u64, u64)> = BinaryHeap::new(); // (seq, lba)
+        if let Some((lba, seq)) = root {
+            if seq >= base.seq {
+                heap.push((seq, lba));
+            }
+        }
+        let mut max_seen = base.seq;
+        while let Some((seq, lba)) = heap.pop() {
+            if seq < base.seq || !visited.insert(lba) {
+                continue;
+            }
+            let sector = match scan_cache.get(&lba) {
+                Some(m) => Some(m.clone()),
+                None => {
+                    let mut buf = [0u8; PIECE_BYTES];
+                    report.service += disk.read_sectors(lba, &mut buf)?;
+                    MapSector::decode(&buf)
+                }
+            };
+            let m = match sector {
+                Some(m) if m.seq == seq => m,
+                _ => {
+                    report.branches_pruned += 1;
+                    continue;
+                }
+            };
+            report.sectors_traversed += 1;
+            max_seen = max_seen.max(m.seq);
+            if m.flags.contains(MapFlags::TXN_COMMIT) {
+                if let Some(t) = m.txn {
+                    committed.insert(t.id);
+                }
+            }
+            let payload_valid = if m.flags.contains(MapFlags::TXN_PART) {
+                let ok = m.txn.map(|t| committed.contains(&t.id)).unwrap_or(false);
+                if !ok {
+                    report.uncommitted_skipped += 1;
+                }
+                ok
+            } else {
+                true
+            };
+            if payload_valid && (m.piece as usize) < n_pieces && !resolved.contains_key(&m.piece) {
+                piece_locs[m.piece as usize] = Some(PieceLoc {
+                    lba,
+                    seq: m.seq,
+                    prev: m.prev,
+                });
+                resolved.insert(m.piece, m.clone());
+            }
+            for ptr in [m.prev, m.bypass].into_iter().flatten() {
+                if ptr.1 >= base.seq {
+                    heap.push((ptr.1, ptr.0));
+                }
+            }
+            if resolved.len() == n_pieces {
+                break;
+            }
+        }
+
+        // 5. Scan fallback also mines unreachable pieces directly: every
+        // live piece version is physically present and self-identifying.
+        if !scan_cache.is_empty() {
+            let commits: HashSet<u64> = scan_cache
+                .values()
+                .filter(|m| m.flags.contains(MapFlags::TXN_COMMIT))
+                .filter_map(|m| m.txn.map(|t| t.id))
+                .collect();
+            for (lba, m) in &scan_cache {
+                if (m.piece as usize) >= n_pieces {
+                    continue;
+                }
+                if m.flags.contains(MapFlags::TXN_PART)
+                    && !m.txn.map(|t| commits.contains(&t.id)).unwrap_or(false)
+                {
+                    continue;
+                }
+                let newer = piece_locs[m.piece as usize]
+                    .map(|loc| m.seq > loc.seq)
+                    .unwrap_or(true);
+                if newer {
+                    piece_locs[m.piece as usize] = Some(PieceLoc {
+                        lba: *lba,
+                        seq: m.seq,
+                        prev: m.prev,
+                    });
+                    resolved.insert(m.piece, m.clone());
+                }
+            }
+        }
+
+        // 6. Anything still missing comes from the checkpoint directory;
+        // those pieces are read back (one sector each) for their payload.
+        for (i, loc) in base.pieces.iter().enumerate() {
+            if i >= n_pieces || piece_locs[i].is_some() {
+                continue;
+            }
+            let Some(loc) = loc else { continue };
+            let mut buf = [0u8; PIECE_BYTES];
+            report.service += disk.read_sectors(loc.lba, &mut buf)?;
+            match MapSector::decode(&buf) {
+                Some(m) if m.seq == loc.seq && m.piece as usize == i => {
+                    piece_locs[i] = Some(*loc);
+                    resolved.insert(i as u32, m);
+                    report.pieces_from_checkpoint += 1;
+                }
+                _ => report.branches_pruned += 1,
+            }
+        }
+        report.pieces_recovered = resolved.len() as u64;
+        next_seq = next_seq.max(max_seen + 1);
+
+        // 7. Rebuild the volatile state.
+        let total_pb = total_sectors / BLOCK_SECTORS as u64;
+        let mut map = vec![UNMAPPED; num_logical as usize];
+        let mut rmap = vec![UNMAPPED; total_pb as usize];
+        for (piece, m) in &resolved {
+            let base_lb = *piece as usize * PIECE_ENTRIES;
+            for (i, &pb) in m.entries.iter().enumerate() {
+                let lb = base_lb + i;
+                if lb < map.len() && pb != UNMAPPED {
+                    map[lb] = pb;
+                    rmap[pb as usize] = lb as u32;
+                }
+            }
+        }
+        let mut free = FreeMap::new(&disk.spec().geometry);
+        Self::reserve_meta(&disk, &mut free, &region);
+        let g = disk.spec().geometry.clone();
+        for loc in piece_locs.iter().flatten() {
+            let p = g.lba_to_phys(loc.lba)?;
+            free.allocate(p.cyl, p.track, p.sector, BLOCK_SECTORS)?;
+        }
+        for &pb in map.iter().filter(|&&pb| pb != UNMAPPED) {
+            let p = g.lba_to_phys(pb as u64 * BLOCK_SECTORS as u64)?;
+            free.allocate(p.cyl, p.track, p.sector, BLOCK_SECTORS)?;
+        }
+
+        // 8. Clear the tail record so it is never trusted stale.
+        report.service += disk.write_sectors(TAIL_LBA, &TailRecord::cleared())?;
+
+        // The recovered root is the youngest live piece: chaining future
+        // writes from it keeps every live entry reachable.
+        let new_root = piece_locs
+            .iter()
+            .flatten()
+            .max_by_key(|l| l.seq)
+            .map(|l| (l.lba, l.seq));
+        let mut vlog = Self::from_recovered(
+            disk,
+            EagerAllocator::new(alloc_cfg),
+            free,
+            map,
+            rmap,
+            piece_locs,
+            new_root,
+            next_seq,
+            num_logical,
+            region,
+            base.seq,
+            !base_was_b,
+        );
+
+        // 9. A fresh checkpoint re-establishes the recycling invariant:
+        // everything stale from before the crash is genuinely free now.
+        report.service += vlog.checkpoint()?;
+        Ok((vlog, report))
+    }
+}
+
+/// Read every track once, decoding all block-aligned sectors. Returns the
+/// cache of valid map sectors keyed by LBA, the number of sectors scanned,
+/// and the time consumed.
+fn scan_disk(disk: &mut Disk) -> Result<(HashMap<u64, MapSector>, u64, ServiceTime)> {
+    let g = disk.spec().geometry.clone();
+    let mut cache = HashMap::new();
+    let mut scanned = 0u64;
+    let mut service = ServiceTime::ZERO;
+    for cyl in 0..g.cylinders() {
+        let spt = g.sectors_per_track(cyl)?;
+        let mut buf = vec![0u8; spt as usize * SECTOR_BYTES];
+        for track in 0..g.tracks_per_cylinder() {
+            let start = g.track_start_lba(cyl, track)?;
+            service += disk.read_sectors(start, &mut buf)?;
+            scanned += spt as u64;
+            // Map pieces live in the first sector of 4 KB-aligned physical
+            // blocks, so only those offsets can hold one.
+            for s in (0..spt).step_by(BLOCK_SECTORS as usize) {
+                let off = s as usize * SECTOR_BYTES;
+                if off + PIECE_BYTES <= buf.len() {
+                    if let Some(m) = MapSector::decode(&buf[off..off + PIECE_BYTES]) {
+                        cache.insert(start + s as u64, m);
+                    }
+                }
+            }
+        }
+    }
+    Ok((cache, scanned, service))
+}

@@ -1,0 +1,155 @@
+//! The shared virtual clock.
+//!
+//! Every timed component of the simulation (disk, file system, benchmark
+//! harness) holds a handle to one [`SimClock`]. Time only moves when a
+//! component explicitly advances it, which makes runs fully deterministic
+//! and lets the harness measure "elapsed" time without ever sleeping —
+//! the same trick the paper's kernel ramdisk played in its fast mode.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A shared, monotonically increasing virtual clock in nanoseconds.
+///
+/// Cloning a `SimClock` yields another handle to the *same* clock; this is
+/// how the disk, the virtual log, the file system and the benchmark driver
+/// all observe a single notion of simulated time.
+///
+/// ```
+/// use disksim::SimClock;
+/// let clock = SimClock::new();
+/// let disk_view = clock.clone();
+/// clock.advance(1_000);
+/// assert_eq!(disk_view.now(), 1_000);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now_ns: Rc<Cell<u64>>,
+}
+
+impl SimClock {
+    /// Create a new clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in nanoseconds since the start of the run.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now_ns.get()
+    }
+
+    /// Advance the clock by `delta_ns` nanoseconds and return the new time.
+    #[inline]
+    pub fn advance(&self, delta_ns: u64) -> u64 {
+        let t = self.now_ns.get() + delta_ns;
+        self.now_ns.set(t);
+        t
+    }
+
+    /// Move the clock forward to an absolute time.
+    ///
+    /// A no-op if `target_ns` is in the past; the clock never runs backwards.
+    #[inline]
+    pub fn advance_to(&self, target_ns: u64) {
+        if target_ns > self.now_ns.get() {
+            self.now_ns.set(target_ns);
+        }
+    }
+
+    /// Number of independent handles observing this clock (diagnostics only).
+    pub fn handles(&self) -> usize {
+        Rc::strong_count(&self.now_ns)
+    }
+}
+
+/// A simple stopwatch over a [`SimClock`], used by the benchmark harness to
+/// time phases of a workload in simulated time.
+#[derive(Debug)]
+pub struct Stopwatch {
+    clock: SimClock,
+    start_ns: u64,
+}
+
+impl Stopwatch {
+    /// Start timing from the clock's current instant.
+    pub fn start(clock: &SimClock) -> Self {
+        Self {
+            clock: clock.clone(),
+            start_ns: clock.now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since this stopwatch was started.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.clock.now() - self.start_ns
+    }
+
+    /// Milliseconds elapsed since this stopwatch was started.
+    pub fn elapsed_ms(&self) -> f64 {
+        crate::ns_to_ms(self.elapsed_ns())
+    }
+
+    /// Restart the stopwatch at the current instant.
+    pub fn reset(&mut self) {
+        self.start_ns = self.clock.now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().now(), 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        c.advance(10);
+        c.advance(32);
+        assert_eq!(c.now(), 42);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(100);
+        assert_eq!(b.now(), 100);
+        b.advance(1);
+        assert_eq!(a.now(), 101);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let c = SimClock::new();
+        c.advance(500);
+        c.advance_to(300);
+        assert_eq!(c.now(), 500);
+        c.advance_to(700);
+        assert_eq!(c.now(), 700);
+    }
+
+    #[test]
+    fn stopwatch_measures_elapsed() {
+        let c = SimClock::new();
+        c.advance(5);
+        let mut w = Stopwatch::start(&c);
+        c.advance(1_000_000);
+        assert_eq!(w.elapsed_ns(), 1_000_000);
+        assert!((w.elapsed_ms() - 1.0).abs() < 1e-9);
+        w.reset();
+        assert_eq!(w.elapsed_ns(), 0);
+    }
+
+    #[test]
+    fn handle_count_tracks_clones() {
+        let a = SimClock::new();
+        assert_eq!(a.handles(), 1);
+        let b = a.clone();
+        assert_eq!(b.handles(), 2);
+    }
+}

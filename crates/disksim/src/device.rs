@@ -1,0 +1,301 @@
+//! The block-device interface file systems run on, and the classic
+//! update-in-place implementation.
+//!
+//! The paper's experimental platform (its Figure 5) runs each file system on
+//! either a "regular" disk or a Virtual Log Disk through the same device
+//! driver interface. [`BlockDevice`] is that interface; [`RegularDisk`] is
+//! the regular disk (logical blocks map linearly onto sectors and writes
+//! update in place). The VLD implementation lives in the `vlog-core` crate.
+
+use crate::clock::SimClock;
+use crate::disk::{Disk, DiskStats};
+use crate::error::{DiskError, Result};
+use crate::service::ServiceTime;
+use crate::spec::DiskSpec;
+use crate::SECTOR_BYTES;
+
+/// A logical block device with simulated timing.
+///
+/// All data-moving calls return the [`ServiceTime`] the request consumed;
+/// the shared clock has already been advanced by that amount when the call
+/// returns. Idle time is granted explicitly via [`BlockDevice::idle`], which
+/// lets devices with background machinery (compactors, cleaners) use it.
+pub trait BlockDevice {
+    /// Logical block size in bytes (a multiple of the 512-byte sector).
+    fn block_size(&self) -> usize;
+
+    /// Number of addressable logical blocks.
+    fn num_blocks(&self) -> u64;
+
+    /// Handle to the simulation clock this device advances.
+    fn clock(&self) -> SimClock;
+
+    /// Read one block. `buf` must be exactly `block_size` bytes.
+    fn read_block(&mut self, block: u64, buf: &mut [u8]) -> Result<ServiceTime>;
+
+    /// Write one block. `buf` must be exactly `block_size` bytes. The write
+    /// is durable when the call returns (no volatile write-back cache).
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<ServiceTime>;
+
+    /// Read a contiguous run of blocks. The default issues one command per
+    /// block; devices that can batch override this.
+    fn read_blocks(&mut self, start: u64, buf: &mut [u8]) -> Result<ServiceTime> {
+        let bs = self.block_size();
+        check_chunks(bs, buf.len())?;
+        let mut total = ServiceTime::ZERO;
+        for (i, chunk) in buf.chunks_mut(bs).enumerate() {
+            total += self.read_block(start + i as u64, chunk)?;
+        }
+        Ok(total)
+    }
+
+    /// Write a contiguous run of blocks. See [`BlockDevice::read_blocks`].
+    fn write_blocks(&mut self, start: u64, buf: &[u8]) -> Result<ServiceTime> {
+        let bs = self.block_size();
+        check_chunks(bs, buf.len())?;
+        let mut total = ServiceTime::ZERO;
+        for (i, chunk) in buf.chunks(bs).enumerate() {
+            total += self.write_block(start + i as u64, chunk)?;
+        }
+        Ok(total)
+    }
+
+    /// Hint that a block's contents are dead (a delete the layer above has
+    /// observed). Logical disks use this to free remapped space; the default
+    /// does nothing, mirroring how deletes "are not visible to the device
+    /// driver" in the paper.
+    fn trim(&mut self, _block: u64) -> Result<()> {
+        Ok(())
+    }
+
+    /// Grant up to `budget_ns` of idle time. The device may run background
+    /// work (compaction, cleaning), advancing the clock as it goes, and
+    /// returns the nanoseconds it actually consumed; the caller idles the
+    /// clock through the remainder. The default consumes nothing.
+    fn idle(&mut self, _budget_ns: u64) -> u64 {
+        0
+    }
+
+    /// Make all buffered state durable — a "sync" from the layer above.
+    /// Write-through devices (the default) have nothing to do; the
+    /// log-structured logical disk flushes its partial segment per the
+    /// 75 % threshold and writes its checkpoint here.
+    fn flush(&mut self) -> Result<ServiceTime> {
+        Ok(ServiceTime::ZERO)
+    }
+
+    /// Cumulative low-level disk statistics (for Figure 9-style breakdowns).
+    fn disk_stats(&self) -> DiskStats;
+}
+
+fn check_chunks(block_size: usize, len: usize) -> Result<()> {
+    if !len.is_multiple_of(block_size) {
+        return Err(DiskError::BadBufferLength {
+            expected: (len / block_size + 1) * block_size,
+            actual: len,
+        });
+    }
+    Ok(())
+}
+
+/// The classic update-in-place disk: logical block `b` lives permanently at
+/// sectors `[b*spb, (b+1)*spb)`.
+#[derive(Debug)]
+pub struct RegularDisk {
+    disk: Disk,
+    block_sectors: u32,
+    num_blocks: u64,
+}
+
+impl RegularDisk {
+    /// Wrap a mechanical disk with `block_size`-byte logical blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a positive multiple of the sector size
+    /// (a configuration error).
+    pub fn new(spec: DiskSpec, clock: SimClock, block_size: usize) -> Self {
+        assert!(
+            block_size > 0 && block_size.is_multiple_of(SECTOR_BYTES),
+            "block size must be a multiple of {SECTOR_BYTES}"
+        );
+        let block_sectors = (block_size / SECTOR_BYTES) as u32;
+        let disk = Disk::new(spec, clock);
+        let num_blocks = disk.spec().geometry.total_sectors() / block_sectors as u64;
+        Self {
+            disk,
+            block_sectors,
+            num_blocks,
+        }
+    }
+
+    /// Access the underlying mechanical disk (for cache policy, stats,
+    /// test setup).
+    pub fn disk_mut(&mut self) -> &mut Disk {
+        &mut self.disk
+    }
+
+    /// Read-only view of the underlying disk.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    fn lba(&self, block: u64) -> Result<u64> {
+        if block >= self.num_blocks {
+            return Err(DiskError::OutOfRange {
+                addr: block,
+                limit: self.num_blocks,
+            });
+        }
+        Ok(block * self.block_sectors as u64)
+    }
+}
+
+impl BlockDevice for RegularDisk {
+    fn block_size(&self) -> usize {
+        self.block_sectors as usize * SECTOR_BYTES
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn clock(&self) -> SimClock {
+        self.disk.clock()
+    }
+
+    fn read_block(&mut self, block: u64, buf: &mut [u8]) -> Result<ServiceTime> {
+        check_exact(self.block_size(), buf.len())?;
+        let lba = self.lba(block)?;
+        self.disk.read_sectors(lba, buf)
+    }
+
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<ServiceTime> {
+        check_exact(self.block_size(), buf.len())?;
+        let lba = self.lba(block)?;
+        self.disk.write_sectors(lba, buf)
+    }
+
+    fn read_blocks(&mut self, start: u64, buf: &mut [u8]) -> Result<ServiceTime> {
+        check_chunks(self.block_size(), buf.len())?;
+        let lba = self.lba(start)?;
+        let last = start + (buf.len() / self.block_size()) as u64;
+        if last > self.num_blocks {
+            return Err(DiskError::TruncatedTransfer);
+        }
+        // One command for the whole physically contiguous run.
+        self.disk.read_sectors(lba, buf)
+    }
+
+    fn write_blocks(&mut self, start: u64, buf: &[u8]) -> Result<ServiceTime> {
+        check_chunks(self.block_size(), buf.len())?;
+        let lba = self.lba(start)?;
+        let last = start + (buf.len() / self.block_size()) as u64;
+        if last > self.num_blocks {
+            return Err(DiskError::TruncatedTransfer);
+        }
+        self.disk.write_sectors(lba, buf)
+    }
+
+    fn disk_stats(&self) -> DiskStats {
+        self.disk.stats()
+    }
+}
+
+fn check_exact(block_size: usize, len: usize) -> Result<()> {
+    if len != block_size {
+        return Err(DiskError::BadBufferLength {
+            expected: block_size,
+            actual: len,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> RegularDisk {
+        RegularDisk::new(DiskSpec::hp97560_sim(), SimClock::new(), 4096)
+    }
+
+    #[test]
+    fn geometry_derived_block_count() {
+        let d = dev();
+        // 36 cyl * 19 tracks * 72 sectors / 8 sectors-per-block
+        assert_eq!(d.num_blocks(), 36 * 19 * 72 / 8);
+        assert_eq!(d.block_size(), 4096);
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let mut d = dev();
+        let w = vec![0x5au8; 4096];
+        d.write_block(10, &w).unwrap();
+        let mut r = vec![0u8; 4096];
+        d.read_block(10, &mut r).unwrap();
+        assert_eq!(w, r);
+    }
+
+    #[test]
+    fn multi_block_ops_are_single_commands() {
+        let mut d = dev();
+        let w = vec![1u8; 4096 * 4];
+        let st = d.write_blocks(0, &w).unwrap();
+        assert_eq!(st.overhead_ns, d.disk().spec().command_overhead_ns);
+        let mut r = vec![0u8; 4096 * 4];
+        let st = d.read_blocks(0, &mut r).unwrap();
+        assert_eq!(st.overhead_ns, d.disk().spec().command_overhead_ns);
+        assert_eq!(w, r);
+    }
+
+    #[test]
+    fn bad_lengths_rejected() {
+        let mut d = dev();
+        assert!(d.write_block(0, &[0u8; 512]).is_err());
+        assert!(d.read_block(0, &mut [0u8; 8192]).is_err());
+        assert!(d.read_blocks(0, &mut [0u8; 1000]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = dev();
+        let n = d.num_blocks();
+        assert!(d.write_block(n, &vec![0u8; 4096]).is_err());
+        assert!(d.write_blocks(n - 1, &vec![0u8; 8192]).is_err());
+    }
+
+    #[test]
+    fn default_idle_consumes_nothing() {
+        let mut d = dev();
+        assert_eq!(d.idle(1_000_000), 0);
+    }
+
+    #[test]
+    fn trim_is_a_noop_by_default() {
+        let mut d = dev();
+        d.write_block(3, &vec![9u8; 4096]).unwrap();
+        d.trim(3).unwrap();
+        let mut r = vec![0u8; 4096];
+        d.read_block(3, &mut r).unwrap();
+        assert!(r.iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn update_in_place_pays_rotation() {
+        // Repeatedly rewriting the same block costs about a full revolution
+        // each time — the fundamental update-in-place penalty the paper
+        // eager-writes around.
+        let mut d = dev();
+        let buf = vec![0u8; 4096];
+        d.write_block(5, &buf).unwrap();
+        let st = d.write_block(5, &buf).unwrap();
+        let rev = d.disk().spec().mech.revolution_ns();
+        assert!(
+            st.rotation_ns > rev / 2,
+            "rewrite rotation {:?} < half rev",
+            st.rotation_ns
+        );
+    }
+}

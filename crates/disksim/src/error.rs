@@ -1,0 +1,76 @@
+//! Error types shared by the simulator and the devices built on it.
+
+use std::fmt;
+
+/// Result alias used across the disk simulator.
+pub type Result<T> = std::result::Result<T, DiskError>;
+
+/// Errors reported by the simulated disk and block devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// A sector or block address beyond the end of the device.
+    OutOfRange {
+        /// The offending address (sector or block number, per context).
+        addr: u64,
+        /// The number of addressable units on the device.
+        limit: u64,
+    },
+    /// A transfer buffer whose length does not match the request.
+    BadBufferLength {
+        /// Expected buffer length in bytes.
+        expected: usize,
+        /// Actual buffer length in bytes.
+        actual: usize,
+    },
+    /// A request that would cross the end of the device.
+    TruncatedTransfer,
+    /// The device has no free space left to satisfy an allocating write.
+    NoSpace,
+    /// On-disk metadata failed validation (bad checksum or magic number).
+    Corrupt(&'static str),
+    /// The operation is not supported by this device.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::OutOfRange { addr, limit } => {
+                write!(f, "address {addr} out of range (device has {limit} units)")
+            }
+            DiskError::BadBufferLength { expected, actual } => {
+                write!(
+                    f,
+                    "buffer length {actual} does not match request ({expected})"
+                )
+            }
+            DiskError::TruncatedTransfer => write!(f, "request crosses end of device"),
+            DiskError::NoSpace => write!(f, "no free space on device"),
+            DiskError::Corrupt(what) => write!(f, "on-disk corruption detected: {what}"),
+            DiskError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DiskError::OutOfRange { addr: 10, limit: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('5'));
+        let e = DiskError::BadBufferLength {
+            expected: 512,
+            actual: 4096,
+        };
+        assert!(e.to_string().contains("512"));
+        assert!(DiskError::NoSpace.to_string().contains("free space"));
+        assert!(DiskError::Corrupt("tail record")
+            .to_string()
+            .contains("tail record"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Disk-image persistence: save and load the sector store.
+//!
+//! The simulator's state is otherwise in-memory only; images let tools and
+//! tests move a "drive" between processes — e.g. crash a VLD in one run and
+//! recover it in another, or keep fixture volumes on disk.
+//!
+//! Format (little-endian): magic `"VDSK"`, version, geometry dimensions
+//! (validated against the spec on load), then the materialised tracks as
+//! `(cyl, track, raw bytes)` triples. Untouched (all-zero) tracks are not
+//! stored.
+
+use std::io::{self, Read, Write};
+
+use crate::clock::SimClock;
+use crate::disk::Disk;
+use crate::spec::DiskSpec;
+use crate::SECTOR_BYTES;
+
+const IMAGE_MAGIC: &[u8; 4] = b"VDSK";
+const IMAGE_VERSION: u16 = 1;
+
+impl Disk {
+    /// Write the disk's contents as an image.
+    pub fn save_image<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let g = &self.spec().geometry;
+        w.write_all(IMAGE_MAGIC)?;
+        w.write_all(&IMAGE_VERSION.to_le_bytes())?;
+        w.write_all(&g.cylinders().to_le_bytes())?;
+        w.write_all(&g.tracks_per_cylinder().to_le_bytes())?;
+        let tracks = self.materialised_tracks();
+        w.write_all(&(tracks.len() as u32).to_le_bytes())?;
+        for (cyl, track) in tracks {
+            let spt = g
+                .sectors_per_track(cyl)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let mut buf = vec![0u8; spt as usize * SECTOR_BYTES];
+            let start = g
+                .track_start_lba(cyl, track)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            self.peek_sectors(start, &mut buf)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            w.write_all(&cyl.to_le_bytes())?;
+            w.write_all(&track.to_le_bytes())?;
+            w.write_all(&buf)?;
+        }
+        Ok(())
+    }
+
+    /// Load an image saved by [`Disk::save_image`] onto a fresh disk of the
+    /// given spec. Fails if the image's geometry does not match.
+    pub fn load_image<R: Read>(spec: DiskSpec, clock: SimClock, r: &mut R) -> io::Result<Disk> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != IMAGE_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a disk image",
+            ));
+        }
+        let version = read_u16(r)?;
+        if version != IMAGE_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unknown image version",
+            ));
+        }
+        let cyls = read_u32(r)?;
+        let tpc = read_u32(r)?;
+        if cyls != spec.geometry.cylinders() || tpc != spec.geometry.tracks_per_cylinder() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "image geometry does not match the spec",
+            ));
+        }
+        let mut disk = Disk::new(spec, clock);
+        let n = read_u32(r)?;
+        for _ in 0..n {
+            let cyl = read_u32(r)?;
+            let track = read_u32(r)?;
+            let spt = disk
+                .spec()
+                .geometry
+                .sectors_per_track(cyl)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let mut buf = vec![0u8; spt as usize * SECTOR_BYTES];
+            r.read_exact(&mut buf)?;
+            let start = disk
+                .spec()
+                .geometry
+                .track_start_lba(cyl, track)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            disk.poke_sectors(start, &buf)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        }
+        Ok(disk)
+    }
+}
+
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_round_trip() {
+        let mut d = Disk::new(DiskSpec::st19101_sim(), SimClock::new());
+        d.write_sectors(100, &vec![0xABu8; 8 * SECTOR_BYTES])
+            .unwrap();
+        d.write_sectors(9000, &vec![0xCDu8; SECTOR_BYTES]).unwrap();
+        let mut img = Vec::new();
+        d.save_image(&mut img).unwrap();
+        let d2 = Disk::load_image(
+            DiskSpec::st19101_sim(),
+            SimClock::new(),
+            &mut img.as_slice(),
+        )
+        .unwrap();
+        for (lba, len, fill) in [(100u64, 8usize, 0xABu8), (9000, 1, 0xCD), (0, 4, 0)] {
+            let mut buf = vec![0xFFu8; len * SECTOR_BYTES];
+            d2.peek_sectors(lba, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == fill), "lba {lba}");
+        }
+    }
+
+    #[test]
+    fn sparse_tracks_stay_sparse() {
+        let mut d = Disk::new(DiskSpec::st19101_sim(), SimClock::new());
+        d.write_sectors(0, &vec![1u8; SECTOR_BYTES]).unwrap();
+        let mut img = Vec::new();
+        d.save_image(&mut img).unwrap();
+        // One track of payload plus a small header — far less than the
+        // 23 MB capacity.
+        assert!(img.len() < 256 * SECTOR_BYTES + 64);
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        let d = Disk::new(DiskSpec::st19101_sim(), SimClock::new());
+        let mut img = Vec::new();
+        d.save_image(&mut img).unwrap();
+        let err = Disk::load_image(
+            DiskSpec::hp97560_sim(),
+            SimClock::new(),
+            &mut img.as_slice(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let err = Disk::load_image(
+            DiskSpec::st19101_sim(),
+            SimClock::new(),
+            &mut &b"not an image"[..],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn heavy_workload_image_fidelity() {
+        // Image fidelity under a scattered write-through workload (the
+        // vlog-core integration tests exercise crash recovery on top).
+        let mut d = Disk::new(DiskSpec::st19101_sim(), SimClock::new());
+        for i in 0..2000u64 {
+            d.write_sectors((i * 37) % 40000, &vec![i as u8; SECTOR_BYTES])
+                .unwrap();
+        }
+        let mut img = Vec::new();
+        d.save_image(&mut img).unwrap();
+        let d2 = Disk::load_image(
+            DiskSpec::st19101_sim(),
+            SimClock::new(),
+            &mut img.as_slice(),
+        )
+        .unwrap();
+        for i in (0..2000u64).step_by(111) {
+            let mut a = vec![0u8; SECTOR_BYTES];
+            let mut b = vec![0u8; SECTOR_BYTES];
+            d.peek_sectors((i * 37) % 40000, &mut a).unwrap();
+            d2.peek_sectors((i * 37) % 40000, &mut b).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+//! # disksim — a discrete-time disk mechanics simulator
+//!
+//! This crate re-implements the simulation substrate used by the OSDI '99
+//! paper *Virtual Log Based File Systems for a Programmable Disk*: a
+//! mechanically faithful model of a rotating disk (seek, rotation, head
+//! switch, command overhead, media transfer) driven by a virtual clock.
+//!
+//! The paper ported the Dartmouth HP97560 simulator into the Solaris kernel
+//! and re-parameterised it to approximate a Seagate ST19101 (Cheetah). Here
+//! the same two parameter sets (paper Table 1) drive a from-scratch
+//! discrete-time model:
+//!
+//! * [`SimClock`] — a shared virtual clock in nanoseconds. Platters spin
+//!   continuously, so the rotational angle is a pure function of absolute
+//!   time; advancing the clock *is* rotating the disk.
+//! * [`Geometry`] — cylinders × tracks × sectors addressing with optional
+//!   multi-zone layouts.
+//! * [`MechModel`] — the seek-time curve, head-switch and rotation costs.
+//! * [`Disk`] — the stateful device: it owns the sector store, the head
+//!   position and a track read-ahead buffer, and reports a per-request
+//!   [`ServiceTime`] breakdown (the paper's Figure 9 categories).
+//! * [`BlockDevice`] — the logical-disk interface the file systems run on;
+//!   [`RegularDisk`] is the classic update-in-place implementation.
+//!
+//! All times are simulated; nothing here sleeps.
+
+pub mod cache;
+pub mod clock;
+pub mod device;
+pub mod disk;
+pub mod error;
+pub mod geometry;
+pub mod image;
+pub mod mech;
+pub mod sched;
+pub mod service;
+pub mod spec;
+
+pub use cache::{CachePolicy, TrackCache};
+pub use clock::SimClock;
+pub use device::{BlockDevice, RegularDisk};
+pub use disk::{Disk, DiskStats, HeadPosition};
+pub use error::{DiskError, Result};
+pub use geometry::{Geometry, PhysAddr, Zone};
+pub use mech::MechModel;
+pub use sched::SchedPolicy;
+pub use service::ServiceTime;
+pub use spec::DiskSpec;
+
+/// Size of the smallest addressable unit, in bytes (both paper disks use
+/// 512-byte sectors).
+pub const SECTOR_BYTES: usize = 512;
+
+/// Nanoseconds per millisecond, used throughout for parameter conversion.
+pub const NS_PER_MS: u64 = 1_000_000;
+
+/// Convert milliseconds (as used in the paper's tables) to nanoseconds.
+#[inline]
+pub fn ms_to_ns(ms: f64) -> u64 {
+    (ms * NS_PER_MS as f64).round() as u64
+}
+
+/// Convert nanoseconds to milliseconds for reporting.
+#[inline]
+pub fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / NS_PER_MS as f64
+}

@@ -1,0 +1,200 @@
+//! The mechanical timing model: seek curve, rotation and head switches.
+//!
+//! Seek time follows the two-piece curve popularised by Ruemmler & Wilkes'
+//! HP97560 characterisation (and used by the Dartmouth simulator the paper
+//! ported): a square-root region for short seeks where the arm is
+//! accelerating, and a linear region for long seeks where it coasts:
+//!
+//! ```text
+//! seek(d) = a + b * sqrt(d)   for 0 < d < threshold
+//! seek(d) = c + e * d         for d >= threshold
+//! ```
+//!
+//! Rotation is uniform: the platters never stop, so the rotational position
+//! at absolute time `t` is `(t % rev) / rev` of a revolution.
+
+/// Piecewise seek-time curve plus fixed per-event costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MechModel {
+    /// Spindle speed in revolutions per minute.
+    pub rpm: u32,
+    /// Head (track) switch time in nanoseconds, including settle.
+    pub head_switch_ns: u64,
+    /// Square-root region constant term, milliseconds.
+    pub seek_a_ms: f64,
+    /// Square-root region coefficient, milliseconds per sqrt(cylinder).
+    pub seek_b_ms: f64,
+    /// Boundary (in cylinders) between the two seek regions.
+    pub seek_threshold: u32,
+    /// Linear region constant term, milliseconds.
+    pub seek_c_ms: f64,
+    /// Linear region slope, milliseconds per cylinder.
+    pub seek_e_ms: f64,
+}
+
+impl MechModel {
+    /// One full revolution, in nanoseconds.
+    #[inline]
+    pub fn revolution_ns(&self) -> u64 {
+        // 60 s/min * 1e9 ns/s / rpm
+        60_000_000_000 / self.rpm as u64
+    }
+
+    /// Time for one sector to pass under the head on a track holding
+    /// `sectors_per_track` sectors.
+    #[inline]
+    pub fn sector_ns(&self, sectors_per_track: u32) -> u64 {
+        self.revolution_ns() / sectors_per_track as u64
+    }
+
+    /// Media transfer time for `count` contiguous sectors on one track.
+    #[inline]
+    pub fn transfer_ns(&self, count: u32, sectors_per_track: u32) -> u64 {
+        count as u64 * self.sector_ns(sectors_per_track)
+    }
+
+    /// Seek time for a cylinder distance of `d` cylinders. Zero distance is
+    /// free; the minimum (single-cylinder) seek is `seek_ns(1)`.
+    pub fn seek_ns(&self, d: u32) -> u64 {
+        if d == 0 {
+            return 0;
+        }
+        let ms = if d < self.seek_threshold {
+            self.seek_a_ms + self.seek_b_ms * (d as f64).sqrt()
+        } else {
+            self.seek_c_ms + self.seek_e_ms * d as f64
+        };
+        crate::ms_to_ns(ms)
+    }
+
+    /// Positioning cost of moving from `(cyl, track)` to another track:
+    /// the larger of the cylinder seek and the head switch, since the
+    /// actuator and head-select settle overlap.
+    pub fn reposition_ns(&self, from_cyl: u32, from_track: u32, to_cyl: u32, to_track: u32) -> u64 {
+        let seek = self.seek_ns(from_cyl.abs_diff(to_cyl));
+        let switch = if from_track != to_track || from_cyl != to_cyl {
+            // Selecting a different head — and after any cylinder seek the
+            // drive must settle on the (possibly same-numbered) head anyway;
+            // model cross-cylinder settles as part of the seek curve.
+            if from_cyl == to_cyl {
+                self.head_switch_ns
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        seek.max(switch)
+    }
+
+    /// Rotational offset (in sectors) of the head over a track with
+    /// `sectors_per_track` sectors at absolute time `t_ns`: which sector
+    /// boundary most recently passed under the head.
+    #[inline]
+    pub fn sector_under_head(&self, t_ns: u64, sectors_per_track: u32) -> u32 {
+        let rev = self.revolution_ns();
+        let in_rev = t_ns % rev;
+        ((in_rev as u128 * sectors_per_track as u128) / rev as u128) as u32
+    }
+
+    /// Nanoseconds from absolute time `t_ns` until the *start* of sector
+    /// `target` next passes under the head.
+    pub fn rotational_wait_ns(&self, t_ns: u64, target: u32, sectors_per_track: u32) -> u64 {
+        let rev = self.revolution_ns();
+        let sector_ns = self.sector_ns(sectors_per_track);
+        let target_start = target as u64 * sector_ns;
+        let in_rev = t_ns % rev;
+        if target_start >= in_rev {
+            target_start - in_rev
+        } else {
+            rev - in_rev + target_start
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MechModel {
+        MechModel {
+            rpm: 6000, // 10 ms/rev for round numbers
+            head_switch_ns: 1_000_000,
+            seek_a_ms: 3.24,
+            seek_b_ms: 0.4,
+            seek_threshold: 383,
+            seek_c_ms: 8.0,
+            seek_e_ms: 0.008,
+        }
+    }
+
+    #[test]
+    fn revolution_time() {
+        assert_eq!(model().revolution_ns(), 10_000_000);
+        assert_eq!(model().sector_ns(100), 100_000);
+    }
+
+    #[test]
+    fn seek_curve_pieces() {
+        let m = model();
+        assert_eq!(m.seek_ns(0), 0);
+        // Short seek: 3.24 + 0.4*sqrt(1) = 3.64 ms.
+        assert_eq!(m.seek_ns(1), crate::ms_to_ns(3.64));
+        // At the threshold the linear region applies: 8.00 + 0.008*383.
+        assert_eq!(m.seek_ns(383), crate::ms_to_ns(8.0 + 0.008 * 383.0));
+        // Long seeks grow linearly.
+        assert!(m.seek_ns(1000) > m.seek_ns(383));
+    }
+
+    #[test]
+    fn seek_is_monotonic() {
+        let m = model();
+        let mut prev = 0;
+        for d in 0..1500 {
+            let s = m.seek_ns(d);
+            assert!(s >= prev, "seek not monotonic at {d}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn reposition_overlaps_seek_and_switch() {
+        let m = model();
+        // Same track: free.
+        assert_eq!(m.reposition_ns(5, 2, 5, 2), 0);
+        // Same cylinder, different head: head switch.
+        assert_eq!(m.reposition_ns(5, 2, 5, 3), m.head_switch_ns);
+        // Different cylinder: the seek dominates the switch.
+        assert_eq!(m.reposition_ns(5, 2, 6, 3), m.seek_ns(1));
+    }
+
+    #[test]
+    fn sector_under_head_wraps() {
+        let m = model();
+        assert_eq!(m.sector_under_head(0, 100), 0);
+        assert_eq!(m.sector_under_head(150_000, 100), 1);
+        assert_eq!(m.sector_under_head(10_000_000, 100), 0); // full rev
+        assert_eq!(m.sector_under_head(10_100_000, 100), 1);
+    }
+
+    #[test]
+    fn rotational_wait_reaches_target_start() {
+        let m = model();
+        // At t=0, head at sector 0's start; waiting for sector 3 takes 3 sector times.
+        assert_eq!(m.rotational_wait_ns(0, 3, 100), 300_000);
+        // Just past sector 3: nearly a full revolution.
+        let t = 300_001;
+        let w = m.rotational_wait_ns(t, 3, 100);
+        assert_eq!(t + w, 10_300_000);
+    }
+
+    #[test]
+    fn rotational_wait_is_less_than_one_rev() {
+        let m = model();
+        for t in (0..20_000_000).step_by(314_159) {
+            for target in [0, 1, 50, 99] {
+                assert!(m.rotational_wait_ns(t, target, 100) < m.revolution_ns());
+            }
+        }
+    }
+}

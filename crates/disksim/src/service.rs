@@ -1,0 +1,201 @@
+//! Per-request service-time accounting.
+//!
+//! The paper's Figure 9 decomposes small-write latency into four parts:
+//! SCSI command overhead, the time to *locate* the target sectors (seek +
+//! head switch + rotation), the media *transfer* time, and "other" (host
+//! processing). [`ServiceTime`] carries the device-side components for a
+//! single request; the host components are added by the file-system layer.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Breakdown of the simulated time one disk request consumed.
+///
+/// All fields are in nanoseconds. `total()` is what the caller's clock was
+/// advanced by.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceTime {
+    /// Controller/SCSI command processing (the paper's *o*).
+    pub overhead_ns: u64,
+    /// Arm movement between cylinders.
+    pub seek_ns: u64,
+    /// Head-select/settle when switching tracks inside a cylinder.
+    pub head_switch_ns: u64,
+    /// Rotational delay waiting for the target sector.
+    pub rotation_ns: u64,
+    /// Media transfer (or buffer transfer on a cache hit).
+    pub transfer_ns: u64,
+}
+
+impl ServiceTime {
+    /// A zero-cost service time (e.g. a fully cache-absorbed request).
+    pub const ZERO: ServiceTime = ServiceTime {
+        overhead_ns: 0,
+        seek_ns: 0,
+        head_switch_ns: 0,
+        rotation_ns: 0,
+        transfer_ns: 0,
+    };
+
+    /// The paper's "locate sectors" component: seek + head switch + rotation.
+    #[inline]
+    pub fn locate_ns(&self) -> u64 {
+        self.seek_ns + self.head_switch_ns + self.rotation_ns
+    }
+
+    /// Total simulated time consumed by the request.
+    #[inline]
+    pub fn total_ns(&self) -> u64 {
+        self.overhead_ns + self.locate_ns() + self.transfer_ns
+    }
+
+    /// Total in milliseconds, for reporting.
+    #[inline]
+    pub fn total_ms(&self) -> f64 {
+        crate::ns_to_ms(self.total_ns())
+    }
+
+    /// A pure positioning estimate: overhead + locate, no transfer.
+    pub fn positioning(
+        overhead_ns: u64,
+        seek_ns: u64,
+        head_switch_ns: u64,
+        rotation_ns: u64,
+    ) -> Self {
+        ServiceTime {
+            overhead_ns,
+            seek_ns,
+            head_switch_ns,
+            rotation_ns,
+            transfer_ns: 0,
+        }
+    }
+}
+
+impl Add for ServiceTime {
+    type Output = ServiceTime;
+    fn add(self, rhs: ServiceTime) -> ServiceTime {
+        ServiceTime {
+            overhead_ns: self.overhead_ns + rhs.overhead_ns,
+            seek_ns: self.seek_ns + rhs.seek_ns,
+            head_switch_ns: self.head_switch_ns + rhs.head_switch_ns,
+            rotation_ns: self.rotation_ns + rhs.rotation_ns,
+            transfer_ns: self.transfer_ns + rhs.transfer_ns,
+        }
+    }
+}
+
+impl AddAssign for ServiceTime {
+    fn add_assign(&mut self, rhs: ServiceTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for ServiceTime {
+    fn sum<I: Iterator<Item = ServiceTime>>(iter: I) -> ServiceTime {
+        iter.fold(ServiceTime::ZERO, |a, b| a + b)
+    }
+}
+
+/// Running totals of many requests, used by benchmarks to report averages
+/// and Figure 9-style breakdowns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Sum of all component times.
+    pub sum: ServiceTime,
+    /// Number of requests accumulated.
+    pub count: u64,
+}
+
+impl ServiceStats {
+    /// Fold one request into the totals.
+    pub fn record(&mut self, t: ServiceTime) {
+        self.sum += t;
+        self.count += 1;
+    }
+
+    /// Mean total latency per request in milliseconds (0 if empty).
+    pub fn mean_total_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            crate::ns_to_ms(self.sum.total_ns()) / self.count as f64
+        }
+    }
+
+    /// Mean of each component in milliseconds, in Figure 9 order:
+    /// (overhead, locate, transfer).
+    pub fn mean_components_ms(&self) -> (f64, f64, f64) {
+        if self.count == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = self.count as f64;
+        (
+            crate::ns_to_ms(self.sum.overhead_ns) / n,
+            crate::ns_to_ms(self.sum.locate_ns()) / n,
+            crate::ns_to_ms(self.sum.transfer_ns) / n,
+        )
+    }
+
+    /// Reset the accumulator.
+    pub fn clear(&mut self) {
+        *self = ServiceStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServiceTime {
+        ServiceTime {
+            overhead_ns: 1,
+            seek_ns: 2,
+            head_switch_ns: 3,
+            rotation_ns: 4,
+            transfer_ns: 5,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let t = sample();
+        assert_eq!(t.locate_ns(), 9);
+        assert_eq!(t.total_ns(), 15);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let t = sample() + sample();
+        assert_eq!(t.overhead_ns, 2);
+        assert_eq!(t.transfer_ns, 10);
+        assert_eq!(t.total_ns(), 30);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let s: ServiceTime = (0..4).map(|_| sample()).sum();
+        assert_eq!(s.total_ns(), 60);
+    }
+
+    #[test]
+    fn stats_mean() {
+        let mut s = ServiceStats::default();
+        assert_eq!(s.mean_total_ms(), 0.0);
+        s.record(ServiceTime {
+            overhead_ns: 1_000_000,
+            ..ServiceTime::ZERO
+        });
+        s.record(ServiceTime {
+            overhead_ns: 3_000_000,
+            ..ServiceTime::ZERO
+        });
+        assert!((s.mean_total_ms() - 2.0).abs() < 1e-12);
+        let (o, l, x) = s.mean_components_ms();
+        assert!((o - 2.0).abs() < 1e-12);
+        assert_eq!(l, 0.0);
+        assert_eq!(x, 0.0);
+        s.clear();
+        assert_eq!(s.count, 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! An LRU block buffer cache with dirty tracking.
+//!
+//! UFS uses one as its buffer cache (metadata and optionally-delayed data
+//! writes); the LFS file layer uses a 6.1 MB instance as the paper's
+//! MinixUFS file cache, which some experiments declare to be NVRAM. The
+//! cache itself is device-agnostic: the owning file system decides when a
+//! dirty eviction or a `sync` reaches the device.
+
+use std::collections::HashMap;
+
+/// One cached block.
+#[derive(Debug, Clone)]
+struct Buf {
+    data: Vec<u8>,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Fixed-capacity LRU cache of equal-sized blocks keyed by block number.
+#[derive(Debug)]
+pub struct BufferCache {
+    capacity: usize,
+    block_size: usize,
+    map: HashMap<u64, Buf>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferCache {
+    /// Create a cache holding at most `capacity` blocks of `block_size`
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity or block size (configuration error).
+    pub fn new(capacity: usize, block_size: usize) -> Self {
+        assert!(capacity > 0 && block_size > 0);
+        Self {
+            capacity,
+            block_size,
+            map: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Build a cache sized in bytes (e.g. the paper's 6.1 MB file cache).
+    pub fn with_bytes(bytes: usize, block_size: usize) -> Self {
+        Self::new((bytes / block_size).max(1), block_size)
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of dirty blocks.
+    pub fn dirty_count(&self) -> usize {
+        self.map.values().filter(|b| b.dirty).count()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn bump(tick: &mut u64) -> u64 {
+        *tick += 1;
+        *tick
+    }
+
+    /// Look up a block, refreshing its LRU position.
+    pub fn get(&mut self, block: u64) -> Option<&[u8]> {
+        let t = Self::bump(&mut self.tick);
+        match self.map.get_mut(&block) {
+            Some(b) => {
+                b.lru = t;
+                self.hits += 1;
+                Some(&b.data)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Check for presence without touching LRU or counters.
+    pub fn contains(&self, block: u64) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    /// Mutably access a cached block, marking it dirty.
+    pub fn get_mut_dirty(&mut self, block: u64) -> Option<&mut [u8]> {
+        let t = Self::bump(&mut self.tick);
+        let b = self.map.get_mut(&block)?;
+        b.lru = t;
+        b.dirty = true;
+        Some(&mut b.data)
+    }
+
+    /// Insert (or replace) a block. Does **not** evict — call
+    /// [`BufferCache::evict_lru`] first when [`BufferCache::is_full`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not block-sized (internal invariant).
+    pub fn insert(&mut self, block: u64, data: Vec<u8>, dirty: bool) {
+        assert_eq!(data.len(), self.block_size, "cache blocks are fixed-size");
+        let t = Self::bump(&mut self.tick);
+        // Replacement keeps an existing buffer dirty if either copy was.
+        let dirty = dirty || self.map.get(&block).map(|b| b.dirty).unwrap_or(false);
+        self.map.insert(
+            block,
+            Buf {
+                data,
+                dirty,
+                lru: t,
+            },
+        );
+    }
+
+    /// True when inserting a new block requires an eviction first.
+    pub fn is_full(&self) -> bool {
+        self.map.len() >= self.capacity
+    }
+
+    /// Remove and return the least-recently-used block:
+    /// `(block, data, dirty)`. The caller must write dirty data back.
+    pub fn evict_lru(&mut self) -> Option<(u64, Vec<u8>, bool)> {
+        let victim = self
+            .map
+            .iter()
+            .min_by_key(|(_, b)| b.lru)
+            .map(|(k, _)| *k)?;
+        let b = self.map.remove(&victim).expect("victim exists");
+        Some((victim, b.data, b.dirty))
+    }
+
+    /// Like [`BufferCache::evict_lru`], but prefers the least-recently-used
+    /// *clean* block, falling back to a dirty one only when everything is
+    /// dirty. Clean evictions cost no I/O.
+    pub fn evict_lru_prefer_clean(&mut self) -> Option<(u64, Vec<u8>, bool)> {
+        let clean = self
+            .map
+            .iter()
+            .filter(|(_, b)| !b.dirty)
+            .min_by_key(|(_, b)| b.lru)
+            .map(|(k, _)| *k);
+        match clean {
+            Some(victim) => {
+                let b = self.map.remove(&victim).expect("victim exists");
+                Some((victim, b.data, b.dirty))
+            }
+            None => self.evict_lru(),
+        }
+    }
+
+    /// Remove a specific block without writing it back.
+    pub fn remove(&mut self, block: u64) -> Option<(Vec<u8>, bool)> {
+        self.map.remove(&block).map(|b| (b.data, b.dirty))
+    }
+
+    /// Snapshot all dirty blocks in ascending block order (the elevator
+    /// order UFS flushes in) and mark them clean.
+    pub fn take_dirty_sorted(&mut self) -> Vec<(u64, Vec<u8>)> {
+        let mut out: Vec<(u64, Vec<u8>)> = self
+            .map
+            .iter_mut()
+            .filter(|(_, b)| b.dirty)
+            .map(|(k, b)| {
+                b.dirty = false;
+                (*k, b.data.clone())
+            })
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Drop every clean block (a benchmark "cache flush"); dirty blocks
+    /// stay, since dropping them would lose data.
+    pub fn drop_clean(&mut self) {
+        self.map.retain(|_, b| b.dirty);
+    }
+
+    /// Drop everything, dirty or not (simulated crash of a volatile cache).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(cap: usize) -> BufferCache {
+        BufferCache::new(cap, 4)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = cache(4);
+        c.insert(7, vec![1, 2, 3, 4], false);
+        assert_eq!(c.get(7), Some(&[1, 2, 3, 4][..]));
+        assert_eq!(c.get(8), None);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = cache(3);
+        c.insert(1, vec![0; 4], false);
+        c.insert(2, vec![0; 4], false);
+        c.insert(3, vec![0; 4], false);
+        // Touch 1 so 2 becomes LRU.
+        c.get(1);
+        assert!(c.is_full());
+        let (victim, _, dirty) = c.evict_lru().unwrap();
+        assert_eq!(victim, 2);
+        assert!(!dirty);
+    }
+
+    #[test]
+    fn dirty_tracking_and_flush_order() {
+        let mut c = cache(8);
+        c.insert(5, vec![0; 4], true);
+        c.insert(2, vec![0; 4], false);
+        c.insert(9, vec![0; 4], true);
+        assert_eq!(c.dirty_count(), 2);
+        let dirty = c.take_dirty_sorted();
+        assert_eq!(
+            dirty.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![5, 9]
+        );
+        assert_eq!(c.dirty_count(), 0);
+        assert_eq!(c.len(), 3, "flush keeps blocks cached, now clean");
+    }
+
+    #[test]
+    fn get_mut_marks_dirty() {
+        let mut c = cache(2);
+        c.insert(1, vec![0; 4], false);
+        c.get_mut_dirty(1).unwrap()[0] = 9;
+        assert_eq!(c.dirty_count(), 1);
+        assert_eq!(c.get(1).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn replacement_keeps_dirty_bit() {
+        let mut c = cache(2);
+        c.insert(1, vec![1; 4], true);
+        c.insert(1, vec![2; 4], false);
+        assert_eq!(
+            c.dirty_count(),
+            1,
+            "clean overwrite must not lose dirtiness"
+        );
+    }
+
+    #[test]
+    fn prefer_clean_falls_back_to_dirty() {
+        let mut c = cache(2);
+        c.insert(1, vec![1; 4], true);
+        c.insert(2, vec![2; 4], true);
+        // Everything dirty: the preferring eviction must still evict.
+        let (victim, _, dirty) = c.evict_lru_prefer_clean().unwrap();
+        assert_eq!(victim, 1, "LRU dirty victim");
+        assert!(dirty);
+        // Mixed: the clean block goes first even if more recently used.
+        c.insert(3, vec![3; 4], false);
+        c.get(3);
+        let (victim, _, dirty) = c.evict_lru_prefer_clean().unwrap();
+        assert_eq!(victim, 3);
+        assert!(!dirty);
+    }
+
+    #[test]
+    fn drop_clean_spares_dirty() {
+        let mut c = cache(4);
+        c.insert(1, vec![0; 4], true);
+        c.insert(2, vec![0; 4], false);
+        c.drop_clean();
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn with_bytes_sizing() {
+        let c = BufferCache::with_bytes(6_400_000, 4096);
+        assert_eq!(c.capacity(), 1562);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-size")]
+    fn wrong_size_block_panics() {
+        cache(2).insert(0, vec![0; 3], false);
+    }
+}

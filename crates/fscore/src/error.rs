@@ -1,0 +1,71 @@
+//! File-system error types.
+
+use disksim::DiskError;
+use std::fmt;
+
+/// Result alias for file-system operations.
+pub type FsResult<T> = std::result::Result<T, FsError>;
+
+/// Errors surfaced by the file systems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Propagated device error.
+    Disk(DiskError),
+    /// No free blocks (or inodes) left.
+    NoSpace,
+    /// Named file does not exist.
+    NotFound,
+    /// A file with that name already exists.
+    Exists,
+    /// File handle is stale or invalid.
+    BadHandle,
+    /// Offset/length out of supported range (e.g. beyond max file size).
+    TooLarge,
+    /// Malformed argument (e.g. empty name).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::Disk(e) => write!(f, "device error: {e}"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::NotFound => write!(f, "no such file"),
+            FsError::Exists => write!(f, "file exists"),
+            FsError::BadHandle => write!(f, "bad file handle"),
+            FsError::TooLarge => write!(f, "file too large"),
+            FsError::Invalid(what) => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<DiskError> for FsError {
+    fn from(e: DiskError) -> Self {
+        match e {
+            DiskError::NoSpace => FsError::NoSpace,
+            other => FsError::Disk(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_nospace_maps_to_fs_nospace() {
+        assert_eq!(FsError::from(DiskError::NoSpace), FsError::NoSpace);
+        assert!(matches!(
+            FsError::from(DiskError::TruncatedTransfer),
+            FsError::Disk(_)
+        ));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(FsError::NotFound.to_string().contains("no such file"));
+        assert!(FsError::Invalid("name").to_string().contains("name"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Segment geometry and on-disk segment summaries.
+//!
+//! The log-structured logical disk divides the device into 512 KB segments
+//! (the MIT LLD's size, which the paper uses). Each segment's first block
+//! is its *summary*: the logical owner of every data slot, so a mounted
+//! volume (or a cleaner) can tell live blocks from dead ones.
+
+use fscore::{FsError, FsResult};
+
+/// Device blocks per segment (512 KB / 4 KB).
+pub const SEG_BLOCKS: u64 = 128;
+/// Data slots per segment (one block goes to the summary).
+pub const SEG_DATA: u64 = SEG_BLOCKS - 1;
+/// Sentinel for "no owner" / unmapped.
+pub const NONE: u32 = u32::MAX;
+/// Summary magic ("LSEG").
+pub const SUMMARY_MAGIC: u32 = 0x4C53_4547;
+
+/// Per-segment bookkeeping state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegState {
+    /// No live data; available for writing.
+    Free,
+    /// Sealed on disk, may contain live and dead blocks.
+    Dirty,
+    /// The segment currently accepting appends (in memory).
+    Open,
+}
+
+/// In-memory image of a segment summary block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// Logical owner of each data slot (NONE = never written).
+    pub owners: Vec<u32>,
+    /// Number of slots actually appended.
+    pub fill: u32,
+    /// Monotonic flush sequence: every summary written to disk (partial
+    /// flush or seal) gets a fresh value, so mount-time roll-forward can
+    /// order segments and skip ones older than the checkpoint.
+    pub seq: u64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn empty() -> Self {
+        Self {
+            owners: vec![NONE; SEG_DATA as usize],
+            fill: 0,
+            seq: 0,
+        }
+    }
+
+    /// Serialise into a block image of `block_size` bytes.
+    pub fn encode(&self, block_size: usize) -> Vec<u8> {
+        let mut b = vec![0u8; block_size];
+        b[0..4].copy_from_slice(&SUMMARY_MAGIC.to_le_bytes());
+        b[4..8].copy_from_slice(&self.fill.to_le_bytes());
+        b[8..16].copy_from_slice(&self.seq.to_le_bytes());
+        for (i, o) in self.owners.iter().enumerate() {
+            let off = 16 + i * 4;
+            b[off..off + 4].copy_from_slice(&o.to_le_bytes());
+        }
+        b
+    }
+
+    /// Decode a summary block.
+    pub fn decode(buf: &[u8]) -> FsResult<Summary> {
+        if buf.len() < 16 + SEG_DATA as usize * 4 {
+            return Err(FsError::Invalid("summary block too small"));
+        }
+        if u32::from_le_bytes(buf[0..4].try_into().expect("slice of 4")) != SUMMARY_MAGIC {
+            return Err(FsError::Invalid("bad segment summary magic"));
+        }
+        let fill = u32::from_le_bytes(buf[4..8].try_into().expect("slice of 4"));
+        if fill > SEG_DATA as u32 {
+            return Err(FsError::Invalid("summary fill out of range"));
+        }
+        let seq = u64::from_le_bytes(buf[8..16].try_into().expect("slice of 8"));
+        let mut owners = Vec::with_capacity(SEG_DATA as usize);
+        for i in 0..SEG_DATA as usize {
+            let off = 16 + i * 4;
+            owners.push(u32::from_le_bytes(
+                buf[off..off + 4].try_into().expect("slice of 4"),
+            ));
+        }
+        Ok(Summary { owners, fill, seq })
+    }
+}
+
+/// Map a global data-slot number to its segment and slot index.
+#[inline]
+pub fn slot_to_seg(slot: u64) -> (u32, u32) {
+    ((slot / SEG_DATA) as u32, (slot % SEG_DATA) as u32)
+}
+
+/// Map (segment, slot index) to the global slot number.
+#[inline]
+pub fn seg_to_slot(seg: u32, idx: u32) -> u64 {
+    seg as u64 * SEG_DATA + idx as u64
+}
+
+/// Device block holding a data slot.
+#[inline]
+pub fn slot_device_block(slot: u64) -> u64 {
+    let (seg, idx) = slot_to_seg(slot);
+    seg as u64 * SEG_BLOCKS + 1 + idx as u64
+}
+
+/// Device block holding a segment's summary.
+#[inline]
+pub fn summary_block(seg: u32) -> u64 {
+    seg as u64 * SEG_BLOCKS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_roundtrip() {
+        let mut s = Summary::empty();
+        s.owners[0] = 5;
+        s.owners[126] = 99;
+        s.fill = 2;
+        s.seq = 77;
+        let img = s.encode(4096);
+        assert_eq!(Summary::decode(&img).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_summary_rejected() {
+        assert!(Summary::decode(&vec![0u8; 4096]).is_err());
+        assert!(Summary::decode(&[0u8; 10]).is_err());
+        let mut s = Summary::empty().encode(4096);
+        s[4] = 0xFF; // fill > SEG_DATA
+        s[5] = 0xFF;
+        assert!(Summary::decode(&s).is_err());
+    }
+
+    #[test]
+    fn slot_addressing_roundtrip() {
+        for slot in [0u64, 1, 126, 127, 128, 1000] {
+            let (seg, idx) = slot_to_seg(slot);
+            assert_eq!(seg_to_slot(seg, idx), slot);
+        }
+        assert_eq!(slot_device_block(0), 1, "slot 0 skips the summary");
+        assert_eq!(slot_device_block(127), 129, "second segment starts at 128");
+        assert_eq!(summary_block(1), 128);
+    }
+}

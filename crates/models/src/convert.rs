@@ -1,0 +1,59 @@
+//! Conversions between model units (sector times) and wall-clock time for
+//! a concrete drive.
+
+use disksim::DiskSpec;
+
+/// Convert a latency expressed in sector times into milliseconds on `spec`
+/// (single-zone specs only, as in the paper).
+pub fn sectors_to_ms(spec: &DiskSpec, sectors: f64) -> f64 {
+    let spt = spec
+        .geometry
+        .sectors_per_track(0)
+        .expect("spec has at least one cylinder");
+    sectors * disksim::ns_to_ms(spec.mech.sector_ns(spt))
+}
+
+/// The head-switch cost in sector times — the `s` parameter of the
+/// cylinder and compactor models.
+pub fn head_switch_sectors(spec: &DiskSpec) -> u64 {
+    let spt = spec
+        .geometry
+        .sectors_per_track(0)
+        .expect("spec has at least one cylinder");
+    let sector = spec.mech.sector_ns(spt);
+    spec.mech.head_switch_ns.div_ceil(sector)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hp_sector_time() {
+        let hp = DiskSpec::hp97560_sim();
+        // 14.99 ms / 72 ≈ 0.208 ms per sector.
+        let ms = sectors_to_ms(&hp, 1.0);
+        assert!((ms - 0.208).abs() < 0.002, "{ms}");
+        // 2.5 ms switch ≈ 13 sectors (rounded up).
+        assert_eq!(head_switch_sectors(&hp), 13);
+    }
+
+    #[test]
+    fn seagate_sector_time() {
+        let st = DiskSpec::st19101_sim();
+        // 6 ms / 256 ≈ 23.4 µs per sector.
+        let ms = sectors_to_ms(&st, 1.0);
+        assert!((ms - 0.0234).abs() < 0.001, "{ms}");
+        assert_eq!(head_switch_sectors(&st), 22);
+    }
+
+    #[test]
+    fn half_rotation_reference() {
+        // The paper's update-in-place yardstick: half a rotation is ~7.5 ms
+        // on the HP and 3 ms on the Seagate.
+        let hp = DiskSpec::hp97560_sim();
+        assert!((sectors_to_ms(&hp, 36.0) - 7.5).abs() < 0.05);
+        let st = DiskSpec::st19101_sim();
+        assert!((sectors_to_ms(&st, 128.0) - 3.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # vlog-models — the paper's analytical models of eager writing
+//!
+//! Section 2 of *Virtual Log Based File Systems for a Programmable Disk*
+//! derives three models for the time eager writing needs to locate a free
+//! sector; this crate implements all of them, with both exact and
+//! closed-form variants so each can validate the other:
+//!
+//! * [`single_track`] — formula (1) and its recurrence proof, plus the
+//!   block-size extension (9);
+//! * [`cylinder`] — formula (2) with the distributions (3)–(4), used by the
+//!   Figure 1 model curves;
+//! * [`compactor`] — formulas (10)–(13), the fill-to-threshold model behind
+//!   Figure 2 and the VLD's 75 % track-fill threshold.
+//!
+//! [`convert`] turns model outputs (sector counts) into milliseconds for a
+//! given [`disksim::DiskSpec`].
+
+pub mod compactor;
+pub mod convert;
+pub mod cylinder;
+pub mod single_track;
+
+pub use compactor::{avg_latency_model_ns, optimal_threshold};
+pub use convert::{head_switch_sectors, sectors_to_ms};
+pub use cylinder::expected_latency;
+pub use single_track::expected_skips;

@@ -1,0 +1,116 @@
+//! The single-track model (§2.1 and Appendix A.1).
+//!
+//! With `n` sectors per track, free fraction `p`, and free space randomly
+//! distributed, the expected number of occupied sectors the head skips
+//! before reaching a free one is
+//!
+//! ```text
+//! E = (1 − p)·n / (1 + p·n)                                  (1)
+//! ```
+//!
+//! proved from the recurrence `E(n,k) = (n−k)/n · (1 + E(n−1,k))` whose
+//! unique solution is `E(n,k) = (n−k)/(1+k)` (formulas 7–8). The extension
+//! to logical blocks of `B` sectors on a disk with physical blocks of `b`
+//! sectors (`b ≤ B`) is
+//!
+//! ```text
+//! E = (1 − p)·n / (b + p·n) · B                              (9)
+//! ```
+//!
+//! showing latency is minimised when the physical block size matches the
+//! logical block size.
+
+/// Formula (8): expected skipped sectors with `k` free among `n`.
+pub fn expected_skips_exact(n: u64, k: u64) -> f64 {
+    assert!(k <= n);
+    (n - k) as f64 / (1 + k) as f64
+}
+
+/// Formula (1): expected skipped sectors at free fraction `p`.
+pub fn expected_skips(n: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "free fraction out of range");
+    let n = n as f64;
+    (1.0 - p) * n / (1.0 + p * n)
+}
+
+/// The recurrence of formula (7), evaluated directly (used to validate the
+/// closed form).
+pub fn expected_skips_recurrence(n: u64, k: u64) -> f64 {
+    assert!(k <= n);
+    if n == k {
+        return 0.0;
+    }
+    // E(n,k) = (n-k)/n * (1 + E(n-1,k)); E(k,k) = 0.
+    let mut e = 0.0;
+    for m in (k + 1)..=n {
+        e = (m - k) as f64 / m as f64 * (1.0 + e);
+    }
+    e
+}
+
+/// Formula (9): expected skipped sectors to place one logical block of
+/// `logical_sectors` on a disk with `physical_sectors`-sized physical
+/// blocks (`physical_sectors ≤ logical_sectors`).
+pub fn expected_skips_blocks(n: u64, p: f64, physical_sectors: u64, logical_sectors: u64) -> f64 {
+    assert!(physical_sectors >= 1 && physical_sectors <= logical_sectors);
+    let n = n as f64;
+    (1.0 - p) * n / (physical_sectors as f64 + p * n) * logical_sectors as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_solves_recurrence() {
+        for n in [8u64, 72, 256] {
+            for k in [1u64, 2, n / 4, n / 2, n - 1, n] {
+                let a = expected_skips_exact(n, k);
+                let b = expected_skips_recurrence(n, k);
+                assert!((a - b).abs() < 1e-9, "n={n} k={k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn formula_one_matches_exact_at_k_equals_pn() {
+        let n = 72u64;
+        for k in [9u64, 18, 36, 54] {
+            let p = k as f64 / n as f64;
+            assert!((expected_skips(n, p) - expected_skips_exact(n, k)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_headline_number() {
+        // "even at a relatively high utilization of 80%, we can expect to
+        // incur only a four-sector rotational delay".
+        let skips = expected_skips(72, 0.2);
+        assert!((3.5..4.5).contains(&skips), "skips at 80% util: {skips}");
+    }
+
+    #[test]
+    fn limits_behave() {
+        assert_eq!(expected_skips(72, 1.0), 0.0);
+        assert!((expected_skips(72, 0.0) - 72.0).abs() < 1e-9);
+        // Monotone decreasing in p.
+        let mut prev = f64::INFINITY;
+        for i in 0..=100 {
+            let e = expected_skips(256, i as f64 / 100.0);
+            assert!(e <= prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn matched_block_sizes_minimise_latency() {
+        // Formula (9): for a 8-sector logical block, physical 8 beats 1.
+        let n = 72;
+        let p = 0.3;
+        let matched = expected_skips_blocks(n, p, 8, 8);
+        let sectored = expected_skips_blocks(n, p, 1, 8);
+        assert!(matched < sectored);
+        // And reduces to (1) when B = b = 1.
+        assert!((expected_skips_blocks(n, p, 1, 1) - expected_skips(n, p)).abs() < 1e-12);
+    }
+}

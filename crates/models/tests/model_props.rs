@@ -1,0 +1,86 @@
+//! Property tests over the analytical models' structural behaviour.
+
+use proptest::prelude::*;
+use vlog_models::{compactor, cylinder, single_track};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Formula (1) is monotone: more free space never increases the skip
+    /// count, and it is bounded by the track size.
+    #[test]
+    fn single_track_monotone_and_bounded(n in 4u64..512, p in 0.0f64..=1.0) {
+        let e = single_track::expected_skips(n, p);
+        prop_assert!(e >= 0.0 && e <= n as f64);
+        let eps = 0.02;
+        if p + eps <= 1.0 {
+            prop_assert!(single_track::expected_skips(n, p + eps) <= e + 1e-9);
+        }
+    }
+
+    /// Formula (9) is monotone in the physical block size: bigger b (up to
+    /// B) never increases the locate cost.
+    #[test]
+    fn block_extension_monotone_in_b(n in 64u64..512, p in 0.05f64..0.95) {
+        let logical = 8u64;
+        let mut prev = f64::INFINITY;
+        for b in [1u64, 2, 4, 8] {
+            let e = single_track::expected_skips_blocks(n, p, b, logical);
+            prop_assert!(e <= prev + 1e-9, "b={b}: {e} > {prev}");
+            prev = e;
+        }
+    }
+
+    /// The cylinder model is bounded above by the single-track geometric
+    /// expectation and below by zero.
+    #[test]
+    fn cylinder_bounded_by_single_track(
+        p in 0.02f64..0.98,
+        s in 1u64..60,
+        t in 2u32..24,
+    ) {
+        let cyl = cylinder::expected_latency(p, s, t);
+        let single = (1.0 - p) / p;
+        prop_assert!(cyl >= 0.0);
+        prop_assert!(cyl <= single + 1e-9, "p={p} s={s} t={t}: {cyl} > {single}");
+        // More tracks can only help.
+        let more = cylinder::expected_latency(p, s, t + 4);
+        prop_assert!(more <= cyl + 1e-9);
+    }
+
+    /// The compactor model's exact sum (10) decreases as the reserve m
+    /// grows, and the closed form (13) yields finite positive latencies
+    /// with an interior optimum.
+    #[test]
+    fn compactor_model_structure(n in 16u64..512) {
+        let s = 500_000u64; // 0.5 ms switch
+        let r = 25_000u64; // 25 µs sector
+        let mut prev = f64::INFINITY;
+        for m in (0..n - 1).step_by((n as usize / 8).max(1)) {
+            let sum = compactor::total_skips_exact(n, m);
+            prop_assert!(sum >= 0.0);
+            prop_assert!(sum <= prev + 1e-9, "sum not decreasing at m={m}");
+            prev = sum;
+            let lat = compactor::avg_latency_model_ns(n, m, s, r);
+            prop_assert!(lat.is_finite() && lat > 0.0);
+        }
+        let (m_opt, best) = compactor::optimal_threshold(n, s, r);
+        prop_assert!(m_opt < n);
+        prop_assert!(best > 0.0);
+        // The optimum really is no worse than a few probes.
+        for m in [0, n / 4, n / 2, n - 1] {
+            prop_assert!(best <= compactor::avg_latency_model_ns(n, m, s, r) + 1e-6);
+        }
+    }
+
+    /// Threshold/percentage conversion is exact at the ends and monotone.
+    #[test]
+    fn threshold_conversion_sane(n in 8u64..512, pct in 0.0f64..=100.0) {
+        let m = compactor::threshold_to_m(n, pct);
+        prop_assert!(m <= n);
+        prop_assert!(compactor::threshold_to_m(n, 0.0) == 0);
+        prop_assert!(compactor::threshold_to_m(n, 100.0) == n);
+        let m2 = compactor::threshold_to_m(n, (pct + 7.0).min(100.0));
+        prop_assert!(m2 >= m);
+    }
+}

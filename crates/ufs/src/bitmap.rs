@@ -1,0 +1,238 @@
+//! In-memory bitmaps backing the on-disk inode and block bitmaps.
+//!
+//! FFS-style: bitmap updates are *delayed* metadata — they live in memory,
+//! are marked dirty per covering disk block, and reach the device on sync.
+//! (Inode and directory updates, by contrast, are written synchronously by
+//! the file system, which is exactly what makes small-file workloads slow
+//! on an update-in-place disk.)
+
+use crate::layout::BLOCK_SIZE;
+
+/// A bitmap with per-disk-block dirty tracking. Bit set = in use.
+#[derive(Debug, Clone)]
+pub struct Bitmap {
+    bits: Vec<u64>,
+    len: u64,
+    used: u64,
+    /// Dirty flags, one per BLOCK_SIZE chunk of the bitmap.
+    dirty: Vec<bool>,
+}
+
+impl Bitmap {
+    /// An all-free bitmap of `len` bits.
+    pub fn new(len: u64) -> Self {
+        let words = (len as usize).div_ceil(64);
+        let blocks = (words * 8).div_ceil(BLOCK_SIZE).max(1);
+        Self {
+            bits: vec![0; words],
+            len,
+            used: 0,
+            dirty: vec![false; blocks],
+        }
+    }
+
+    /// Rebuild from on-disk bytes.
+    pub fn from_bytes(len: u64, bytes: &[u8]) -> Self {
+        let mut bm = Self::new(len);
+        for i in 0..len {
+            let byte = bytes.get(i as usize / 8).copied().unwrap_or(0);
+            if byte >> (i % 8) & 1 == 1 {
+                bm.set(i);
+            }
+        }
+        bm.clear_dirty();
+        bm
+    }
+
+    /// Serialise bit `i` into byte `i/8`, LSB-first (matching
+    /// [`Bitmap::from_bytes`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; (self.len as usize).div_ceil(8)];
+        for i in 0..self.len {
+            if self.get(i) {
+                out[i as usize / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Bits set (in use).
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bits clear (free).
+    pub fn free(&self) -> u64 {
+        self.len - self.used
+    }
+
+    /// Test a bit.
+    pub fn get(&self, i: u64) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Set a bit (idempotent).
+    pub fn set(&mut self, i: u64) {
+        debug_assert!(i < self.len);
+        let w = &mut self.bits[(i / 64) as usize];
+        let m = 1u64 << (i % 64);
+        if *w & m == 0 {
+            *w |= m;
+            self.used += 1;
+            self.mark_dirty(i);
+        }
+    }
+
+    /// Clear a bit (idempotent).
+    pub fn clear(&mut self, i: u64) {
+        debug_assert!(i < self.len);
+        let w = &mut self.bits[(i / 64) as usize];
+        let m = 1u64 << (i % 64);
+        if *w & m != 0 {
+            *w &= !m;
+            self.used -= 1;
+            self.mark_dirty(i);
+        }
+    }
+
+    fn mark_dirty(&mut self, i: u64) {
+        let chunk = (i / 8) as usize / BLOCK_SIZE;
+        self.dirty[chunk] = true;
+    }
+
+    /// First free bit at or after `hint`, wrapping around — the FFS
+    /// locality heuristic (allocate near the previous block).
+    pub fn alloc_from(&mut self, hint: u64) -> Option<u64> {
+        if self.used == self.len {
+            return None;
+        }
+        let start = if hint >= self.len { 0 } else { hint };
+        let mut i = start;
+        loop {
+            if !self.get(i) {
+                self.set(i);
+                return Some(i);
+            }
+            i += 1;
+            if i == self.len {
+                i = 0;
+            }
+            if i == start {
+                return None;
+            }
+        }
+    }
+
+    /// Indices of dirty BLOCK_SIZE chunks, clearing the flags.
+    pub fn take_dirty_chunks(&mut self) -> Vec<usize> {
+        let out: Vec<usize> = self
+            .dirty
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .collect();
+        self.clear_dirty();
+        out
+    }
+
+    /// Any dirty chunks pending?
+    pub fn has_dirty(&self) -> bool {
+        self.dirty.iter().any(|&d| d)
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|d| *d = false);
+    }
+
+    /// One BLOCK_SIZE-sized chunk of the serialised bitmap (zero-padded).
+    pub fn chunk_bytes(&self, chunk: usize) -> Vec<u8> {
+        let all = self.to_bytes();
+        let start = chunk * BLOCK_SIZE;
+        let mut out = vec![0u8; BLOCK_SIZE];
+        if start < all.len() {
+            let end = (start + BLOCK_SIZE).min(all.len());
+            out[..end - start].copy_from_slice(&all[start..end]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_counts() {
+        let mut b = Bitmap::new(100);
+        assert_eq!(b.free(), 100);
+        b.set(5);
+        b.set(5);
+        assert_eq!(b.used(), 1);
+        b.clear(5);
+        b.clear(5);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn alloc_from_wraps_and_prefers_hint() {
+        let mut b = Bitmap::new(10);
+        assert_eq!(b.alloc_from(7), Some(7));
+        assert_eq!(b.alloc_from(7), Some(8));
+        assert_eq!(b.alloc_from(9), Some(9));
+        assert_eq!(b.alloc_from(9), Some(0), "wraps to the start");
+        for _ in 0..6 {
+            b.alloc_from(0);
+        }
+        assert_eq!(b.free(), 0);
+        assert_eq!(b.alloc_from(3), None);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut b = Bitmap::new(77);
+        for i in [0u64, 7, 8, 63, 64, 76] {
+            b.set(i);
+        }
+        let again = Bitmap::from_bytes(77, &b.to_bytes());
+        for i in 0..77 {
+            assert_eq!(b.get(i), again.get(i), "bit {i}");
+        }
+        assert_eq!(again.used(), 6);
+    }
+
+    #[test]
+    fn dirty_chunk_tracking() {
+        let mut b = Bitmap::new(BLOCK_SIZE as u64 * 8 * 2); // two chunks
+        assert!(!b.has_dirty());
+        b.set(3);
+        b.set(BLOCK_SIZE as u64 * 8 + 1);
+        assert_eq!(b.take_dirty_chunks(), vec![0, 1]);
+        assert!(!b.has_dirty());
+        b.clear(3);
+        assert_eq!(b.take_dirty_chunks(), vec![0]);
+    }
+
+    #[test]
+    fn chunk_bytes_padding() {
+        let mut b = Bitmap::new(16);
+        b.set(0);
+        b.set(9);
+        let c = b.chunk_bytes(0);
+        assert_eq!(c.len(), BLOCK_SIZE);
+        assert_eq!(c[0], 1);
+        assert_eq!(c[1], 2);
+        assert!(c[2..].iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,107 @@
+//! Flat root-directory entries.
+//!
+//! The benchmarks use a single namespace, so the file system keeps one root
+//! directory whose data is an ordinary file (inode 0) of fixed 32-byte
+//! entries. A zero name length marks a free slot, so freshly allocated
+//! directory blocks are valid empty directories.
+
+use fscore::{FsError, FsResult};
+
+/// Bytes per directory entry.
+pub const DIRENT_SIZE: usize = 32;
+/// Maximum file-name length.
+pub const MAX_NAME: usize = DIRENT_SIZE - 5;
+
+/// A directory entry: a name bound to an inode number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dirent {
+    /// Inode of the file.
+    pub ino: u32,
+    /// File name (1..=MAX_NAME bytes).
+    pub name: String,
+}
+
+impl Dirent {
+    /// Validate a candidate file name.
+    pub fn check_name(name: &str) -> FsResult<()> {
+        if name.is_empty() {
+            return Err(FsError::Invalid("empty file name"));
+        }
+        if name.len() > MAX_NAME {
+            return Err(FsError::Invalid("file name too long"));
+        }
+        Ok(())
+    }
+
+    /// Serialise into a 32-byte slot.
+    pub fn encode_into(&self, slot: &mut [u8]) {
+        assert_eq!(slot.len(), DIRENT_SIZE);
+        slot.fill(0);
+        slot[0..4].copy_from_slice(&self.ino.to_le_bytes());
+        let bytes = self.name.as_bytes();
+        slot[4] = bytes.len() as u8;
+        slot[5..5 + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Decode a slot; `None` for a free slot.
+    pub fn decode(slot: &[u8]) -> Option<Dirent> {
+        if slot.len() != DIRENT_SIZE {
+            return None;
+        }
+        let len = slot[4] as usize;
+        if len == 0 || len > MAX_NAME {
+            return None;
+        }
+        let name = String::from_utf8(slot[5..5 + len].to_vec()).ok()?;
+        Some(Dirent {
+            ino: u32::from_le_bytes(slot[0..4].try_into().expect("slice of 4")),
+            name,
+        })
+    }
+
+    /// Write a free-slot marker.
+    pub fn clear_slot(slot: &mut [u8]) {
+        slot.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let d = Dirent {
+            ino: 42,
+            name: "hello.txt".into(),
+        };
+        let mut slot = vec![0u8; DIRENT_SIZE];
+        d.encode_into(&mut slot);
+        assert_eq!(Dirent::decode(&slot), Some(d));
+    }
+
+    #[test]
+    fn zero_slot_is_free() {
+        assert_eq!(Dirent::decode(&[0u8; DIRENT_SIZE]), None);
+    }
+
+    #[test]
+    fn cleared_slot_is_free() {
+        let d = Dirent {
+            ino: 1,
+            name: "x".into(),
+        };
+        let mut slot = vec![0u8; DIRENT_SIZE];
+        d.encode_into(&mut slot);
+        Dirent::clear_slot(&mut slot);
+        assert_eq!(Dirent::decode(&slot), None);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(Dirent::check_name("ok").is_ok());
+        assert!(Dirent::check_name("").is_err());
+        assert!(Dirent::check_name(&"x".repeat(MAX_NAME)).is_ok());
+        assert!(Dirent::check_name(&"x".repeat(MAX_NAME + 1)).is_err());
+    }
+}

@@ -1,0 +1,422 @@
+//! `fsck` — offline consistency checking for the update-in-place file
+//! system.
+//!
+//! Walks the on-disk structures (superblock, bitmaps, inode table, root
+//! directory, block pointers) and cross-checks them:
+//!
+//! * every referenced block is inside the data area and referenced once;
+//! * the block bitmap covers exactly the referenced blocks;
+//! * the inode bitmap covers exactly the directory-reachable inodes
+//!   (plus the root);
+//! * directory entries point at allocated inodes;
+//! * file sizes are representable by the pointer tree.
+//!
+//! Unlike the real `fsck`, this one only reports; the simulation has no
+//! power failures mid-metadata-update to repair (UFS crash consistency is
+//! exactly what the paper's synchronous-metadata discipline buys).
+
+use std::collections::HashMap;
+
+use crate::dir::{Dirent, DIRENT_SIZE};
+use crate::inode::{Inode, NO_BLOCK, PTRS_PER_BLOCK};
+use crate::layout::{Layout, BLOCK_SIZE, INODE_SIZE};
+use disksim::BlockDevice;
+use fscore::FsResult;
+
+/// The root directory's inode, mirrored here to keep `fsck` standalone.
+const ROOT_CHECK_INO: u32 = 0;
+
+/// One consistency violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsckError {
+    /// A block pointer outside the data area.
+    PointerOutOfRange {
+        /// Owning inode.
+        ino: u32,
+        /// The bad device block.
+        block: u64,
+    },
+    /// Two pointers reference the same block.
+    DoubleReference {
+        /// The block referenced twice.
+        block: u64,
+        /// First owner.
+        first_ino: u32,
+        /// Second owner.
+        second_ino: u32,
+    },
+    /// Bitmap says free but the block is referenced.
+    ReferencedButFree {
+        /// The block in question.
+        block: u64,
+    },
+    /// Bitmap says used but nothing references the block (a leak).
+    Leaked {
+        /// The leaked block.
+        block: u64,
+    },
+    /// A directory entry points at an unallocated inode.
+    DanglingDirent {
+        /// The entry's name.
+        name: String,
+        /// The missing inode.
+        ino: u32,
+    },
+    /// An allocated inode is unreachable from the root directory.
+    OrphanInode {
+        /// The orphan.
+        ino: u32,
+    },
+    /// Inode size exceeds what its pointers can address.
+    SizeBeyondPointers {
+        /// The inode.
+        ino: u32,
+    },
+}
+
+/// Result of a check: counts plus the detailed errors.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Files reachable from the root directory.
+    pub files: u32,
+    /// Data blocks referenced (including indirect blocks).
+    pub blocks_referenced: u64,
+    /// Violations found (empty = consistent).
+    pub errors: Vec<FsckError>,
+}
+
+impl FsckReport {
+    /// Did the volume pass?
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Check the volume on `dev`. Reads raw blocks; does not require (or
+/// trust) a mounted file system.
+pub fn fsck(dev: &mut dyn BlockDevice) -> FsResult<FsckReport> {
+    let mut report = FsckReport::default();
+    let mut buf = vec![0u8; BLOCK_SIZE];
+
+    // Superblock → layout.
+    dev.read_block(0, &mut buf)?;
+    let layout = Layout::decode(&buf)?;
+
+    // Load the bitmaps.
+    let block_bm = read_bitmap(
+        dev,
+        layout.block_bitmap_start,
+        layout.block_bitmap_blocks,
+        layout.data_blocks(),
+    )?;
+    let inode_bm = read_bitmap(
+        dev,
+        layout.inode_bitmap_start,
+        layout.inode_bitmap_blocks,
+        layout.inode_count as u64,
+    )?;
+
+    // Walk every allocated inode's pointers, recording references.
+    let mut owner: HashMap<u64, u32> = HashMap::new();
+    let mut reachable_inodes = vec![false; layout.inode_count as usize];
+    reachable_inodes[0] = true;
+    let reference =
+        |report: &mut FsckReport, owner: &mut HashMap<u64, u32>, ino: u32, block: u64| {
+            if block < layout.data_start || block >= layout.total_blocks {
+                report
+                    .errors
+                    .push(FsckError::PointerOutOfRange { ino, block });
+                return;
+            }
+            if let Some(&first) = owner.get(&block) {
+                report.errors.push(FsckError::DoubleReference {
+                    block,
+                    first_ino: first,
+                    second_ino: ino,
+                });
+            } else {
+                owner.insert(block, ino);
+                report.blocks_referenced += 1;
+            }
+        };
+
+    let mut inodes: Vec<Option<Inode>> = vec![None; layout.inode_count as usize];
+    // Data blocks of each inode in file order (needed to walk directories).
+    let mut file_blocks: HashMap<u32, Vec<u64>> = HashMap::new();
+    for ino in 0..layout.inode_count {
+        let (blk, off) = layout.inode_location(ino);
+        dev.read_block(blk, &mut buf)?;
+        let inode = Inode::decode(&buf[off..off + INODE_SIZE])?;
+        if !inode.allocated {
+            continue;
+        }
+        if inode.blocks() > Inode::max_blocks() {
+            report.errors.push(FsckError::SizeBeyondPointers { ino });
+        }
+        let mut data: Vec<u64> = Vec::new();
+        for &d in inode.direct.iter().filter(|&&d| d != NO_BLOCK) {
+            reference(&mut report, &mut owner, ino, d as u64);
+            data.push(d as u64);
+        }
+        let walk_ptr_block = |report: &mut FsckReport,
+                              owner: &mut HashMap<u64, u32>,
+                              dev: &mut dyn BlockDevice,
+                              pb: u64|
+         -> FsResult<Vec<u64>> {
+            let mut pbuf = vec![0u8; BLOCK_SIZE];
+            dev.read_block(pb, &mut pbuf)?;
+            reference(report, owner, ino, pb);
+            Ok((0..PTRS_PER_BLOCK as usize)
+                .map(|i| {
+                    u32::from_le_bytes(pbuf[i * 4..i * 4 + 4].try_into().expect("slice of 4"))
+                        as u64
+                })
+                .filter(|&b| b != NO_BLOCK as u64)
+                .collect())
+        };
+        if inode.indirect != NO_BLOCK {
+            for b in walk_ptr_block(&mut report, &mut owner, dev, inode.indirect as u64)? {
+                reference(&mut report, &mut owner, ino, b);
+                data.push(b);
+            }
+        }
+        if inode.dindirect != NO_BLOCK {
+            for l1 in walk_ptr_block(&mut report, &mut owner, dev, inode.dindirect as u64)? {
+                for b in walk_ptr_block(&mut report, &mut owner, dev, l1)? {
+                    reference(&mut report, &mut owner, ino, b);
+                    data.push(b);
+                }
+            }
+        }
+        file_blocks.insert(ino, data);
+        inodes[ino as usize] = Some(inode);
+    }
+
+    // Walk the directory tree: reachability + dangling entries. (Indirect
+    // directory blocks are handled through the per-inode block lists.)
+    let per_block = (BLOCK_SIZE / DIRENT_SIZE) as u64;
+    let mut queue: Vec<u32> = vec![ROOT_CHECK_INO];
+    let mut visited_dirs = vec![false; layout.inode_count as usize];
+    visited_dirs[ROOT_CHECK_INO as usize] = true;
+    while let Some(dir_ino) = queue.pop() {
+        let Some(dir) = inodes[dir_ino as usize] else {
+            continue;
+        };
+        let entries = dir.size / DIRENT_SIZE as u64;
+        let blocks = file_blocks.get(&dir_ino).cloned().unwrap_or_default();
+        for (blk_idx, dev_blk) in blocks.iter().enumerate() {
+            dev.read_block(*dev_blk, &mut buf)?;
+            for s in 0..per_block {
+                let idx = blk_idx as u64 * per_block + s;
+                if idx >= entries {
+                    break;
+                }
+                let o = s as usize * DIRENT_SIZE;
+                if let Some(e) = Dirent::decode(&buf[o..o + DIRENT_SIZE]) {
+                    match inodes.get(e.ino as usize).and_then(|i| *i) {
+                        Some(child) => {
+                            reachable_inodes[e.ino as usize] = true;
+                            if child.is_dir {
+                                if !visited_dirs[e.ino as usize] {
+                                    visited_dirs[e.ino as usize] = true;
+                                    queue.push(e.ino);
+                                }
+                            } else {
+                                report.files += 1;
+                            }
+                        }
+                        None => report.errors.push(FsckError::DanglingDirent {
+                            name: e.name,
+                            ino: e.ino,
+                        }),
+                    }
+                }
+            }
+        }
+    }
+
+    // Orphans: allocated inodes no directory entry names.
+    for (ino, inode) in inodes.iter().enumerate() {
+        if inode.is_some() && !reachable_inodes[ino] {
+            report
+                .errors
+                .push(FsckError::OrphanInode { ino: ino as u32 });
+        }
+    }
+
+    // Bitmap cross-check over the data area.
+    for block in layout.data_start..layout.total_blocks {
+        let bit = block_bm[(block - layout.data_start) as usize];
+        let referenced = owner.contains_key(&block);
+        match (bit, referenced) {
+            (false, true) => report.errors.push(FsckError::ReferencedButFree { block }),
+            (true, false) => report.errors.push(FsckError::Leaked { block }),
+            _ => {}
+        }
+    }
+    // Inode bitmap vs allocation.
+    for ino in 0..layout.inode_count as usize {
+        let bit = inode_bm[ino];
+        let alloc = inodes[ino].is_some();
+        if bit != alloc {
+            report.errors.push(if alloc {
+                FsckError::ReferencedButFree { block: ino as u64 }
+            } else {
+                FsckError::Leaked { block: ino as u64 }
+            });
+        }
+    }
+    Ok(report)
+}
+
+fn read_bitmap(
+    dev: &mut dyn BlockDevice,
+    start: u64,
+    blocks: u64,
+    bits: u64,
+) -> FsResult<Vec<bool>> {
+    let mut bytes = Vec::new();
+    let mut buf = vec![0u8; BLOCK_SIZE];
+    for b in 0..blocks {
+        dev.read_block(start + b, &mut buf)?;
+        bytes.extend_from_slice(&buf);
+    }
+    Ok((0..bits)
+        .map(|i| bytes[(i / 8) as usize] >> (i % 8) & 1 == 1)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ufs, UfsConfig};
+    use disksim::{DiskSpec, RegularDisk, SimClock};
+    use fscore::{FileSystem, HostModel};
+
+    fn populated() -> Ufs {
+        let dev = RegularDisk::new(DiskSpec::st19101_sim(), SimClock::new(), BLOCK_SIZE);
+        let mut fs =
+            Ufs::format(Box::new(dev), HostModel::instant(), UfsConfig::default()).unwrap();
+        for i in 0..20 {
+            let f = fs.create(&format!("f{i}")).unwrap();
+            fs.write(f, 0, &vec![i as u8; 10_000 * (i as usize + 1)])
+                .unwrap();
+        }
+        fs.delete("f3").unwrap();
+        fs.sync().unwrap();
+        fs
+    }
+
+    #[test]
+    fn clean_volume_passes() {
+        let mut fs = populated();
+        let report = fsck(fs.device_mut()).unwrap();
+        assert!(report.is_clean(), "errors: {:?}", report.errors);
+        assert_eq!(report.files, 19);
+        assert!(report.blocks_referenced > 19);
+    }
+
+    #[test]
+    fn large_files_with_indirect_blocks_pass() {
+        let dev = RegularDisk::new(DiskSpec::st19101_sim(), SimClock::new(), BLOCK_SIZE);
+        let mut fs =
+            Ufs::format(Box::new(dev), HostModel::instant(), UfsConfig::default()).unwrap();
+        let f = fs.create("big").unwrap();
+        fs.write(f, 0, &vec![7u8; 6 << 20]).unwrap(); // double-indirect range
+        fs.sync().unwrap();
+        let report = fsck(fs.device_mut()).unwrap();
+        assert!(report.is_clean(), "errors: {:?}", report.errors);
+    }
+
+    #[test]
+    fn corrupted_pointer_detected() {
+        let mut fs = populated();
+        // Corrupt a direct pointer in inode 1's slot to point outside the
+        // data area.
+        let layout = *fs.layout();
+        let (blk, off) = layout.inode_location(1);
+        let dev = fs.device_mut();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        dev.read_block(blk, &mut buf).unwrap();
+        let mut inode = Inode::decode(&buf[off..off + INODE_SIZE]).unwrap();
+        inode.direct[0] = 1; // superblock area: out of range
+        inode.encode_into(&mut buf[off..off + INODE_SIZE]);
+        dev.write_block(blk, &buf).unwrap();
+        let report = fsck(dev).unwrap();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, FsckError::PointerOutOfRange { ino: 1, .. })));
+    }
+
+    #[test]
+    fn bitmap_mismatch_detected() {
+        let mut fs = populated();
+        let layout = *fs.layout();
+        let dev = fs.device_mut();
+        // Flip one bit in the block bitmap: a used block becomes "free".
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        dev.read_block(layout.block_bitmap_start, &mut buf).unwrap();
+        // Find a set bit and clear it.
+        let pos = buf
+            .iter()
+            .position(|&b| b != 0)
+            .expect("some blocks are allocated");
+        let bit = buf[pos].trailing_zeros();
+        buf[pos] &= !(1 << bit);
+        dev.write_block(layout.block_bitmap_start, &buf).unwrap();
+        let report = fsck(dev).unwrap();
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|e| matches!(e, FsckError::ReferencedButFree { .. })),
+            "errors: {:?}",
+            report.errors
+        );
+    }
+
+    #[test]
+    fn leaked_block_detected() {
+        let mut fs = populated();
+        let layout = *fs.layout();
+        let dev = fs.device_mut();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        dev.read_block(layout.block_bitmap_start, &mut buf).unwrap();
+        // Set the bitmap bit of the volume's very last data block, which
+        // nothing references at this fill level.
+        let last = layout.data_blocks() - 1;
+        buf[(last / 8) as usize] |= 1 << (last % 8);
+        dev.write_block(
+            layout.block_bitmap_start + last / 8 / BLOCK_SIZE as u64,
+            &buf,
+        )
+        .unwrap();
+        let report = fsck(dev).unwrap();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, FsckError::Leaked { .. })));
+    }
+
+    #[test]
+    fn fsck_works_through_the_vld_too() {
+        // The VLD is transparent: the same checker runs over the remapped
+        // volume unchanged.
+        let dev = vlog_core::Vld::format(
+            DiskSpec::st19101_sim(),
+            SimClock::new(),
+            vlog_core::VldConfig::default(),
+        );
+        let mut fs =
+            Ufs::format(Box::new(dev), HostModel::instant(), UfsConfig::default()).unwrap();
+        for i in 0..10 {
+            let f = fs.create(&format!("v{i}")).unwrap();
+            fs.write(f, 0, &vec![1u8; 50_000]).unwrap();
+        }
+        fs.sync().unwrap();
+        let report = fsck(fs.device_mut()).unwrap();
+        assert!(report.is_clean(), "errors: {:?}", report.errors);
+        assert_eq!(report.files, 10);
+    }
+}

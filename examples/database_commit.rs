@@ -1,0 +1,103 @@
+//! Database-style transaction commits on the virtual log.
+//!
+//! The paper motivates eager writing with "recoverable virtual memory,
+//! persistent object stores, and database applications" whose performance
+//! hinges on small synchronous writes. This example models a TPC-B-ish
+//! commit stream: each transaction dirties a few 4 KB pages scattered
+//! across a database file and must make them durable *atomically* before
+//! the next transaction starts.
+//!
+//! Three configurations are compared:
+//!
+//! 1. update-in-place pages, forced synchronously (classic no-log UFS);
+//! 2. the same pages on a Virtual Log Disk, one atomic multi-block
+//!    transaction each (the virtual log's commit record makes the batch
+//!    all-or-nothing);
+//! 3. after a simulated crash mid-stream, recovery shows the atomicity
+//!    guarantee held.
+//!
+//! Run with: `cargo run --release --example database_commit`
+
+use vlfs::disksim::{BlockDevice, DiskSpec, RegularDisk, SimClock};
+use vlfs::vlog::{Vld, VldConfig};
+
+/// Pages touched per transaction.
+const PAGES_PER_TXN: usize = 4;
+/// Transactions to run.
+const TXNS: u64 = 300;
+
+fn lcg(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x >> 16
+}
+
+fn main() {
+    let spec = DiskSpec::st19101_sim();
+
+    // --- 1. update-in-place commits ------------------------------------
+    let mut reg = RegularDisk::new(spec.clone(), SimClock::new(), 4096);
+    let db_pages = reg.num_blocks() / 2;
+    let page = vec![0x11u8; 4096];
+    let mut seed = 42u64;
+    let mut t_reg = 0u64;
+    for _ in 0..TXNS {
+        for _ in 0..PAGES_PER_TXN {
+            let p = lcg(&mut seed) % db_pages;
+            t_reg += reg.write_block(p, &page).expect("in range").total_ns();
+        }
+    }
+
+    // --- 2. atomic commits on the VLD -----------------------------------
+    let mut vld = Vld::format(spec.clone(), SimClock::new(), VldConfig::default());
+    let mut seed = 42u64;
+    let mut t_vld = 0u64;
+    for txn in 0..TXNS {
+        let pages: Vec<u64> = (0..PAGES_PER_TXN)
+            .map(|_| lcg(&mut seed) % db_pages)
+            .collect();
+        let payload = vec![txn as u8; 4096];
+        let batch: Vec<(u64, &[u8])> = pages.iter().map(|&p| (p, payload.as_slice())).collect();
+        t_vld += vld.write_atomic(&batch).expect("commit fits").total_ns();
+    }
+
+    let per_txn = |ns: u64| ns as f64 / TXNS as f64 / 1e6;
+    println!("commit stream: {TXNS} transactions x {PAGES_PER_TXN} pages");
+    println!("  update-in-place, per txn : {:.2} ms", per_txn(t_reg));
+    println!("  VLD atomic txn, per txn  : {:.2} ms", per_txn(t_vld));
+    println!(
+        "  speedup                  : {:.1}x\n",
+        per_txn(t_reg) / per_txn(t_vld)
+    );
+
+    // --- 3. crash + recovery: atomicity check ---------------------------
+    // Write one more transaction and crash WITHOUT an orderly shutdown;
+    // recovery must see either all or none of it (here: all, since the
+    // commit record reached the disk).
+    let marker_pages = [1u64, 1000, 2000, 3000];
+    let payload = vec![0xEEu8; 4096];
+    let batch: Vec<(u64, &[u8])> = marker_pages
+        .iter()
+        .map(|&p| (p, payload.as_slice()))
+        .collect();
+    vld.write_atomic(&batch).expect("commit fits");
+    let disk = vld.crash();
+
+    let o = spec.command_overhead_ns;
+    let (mut recovered, report) =
+        Vld::recover(disk, o, VldConfig::default()).expect("recovery succeeds");
+    println!(
+        "crash recovery: tail={} scan={} sectors, traversed {} log entries in {:.1} ms",
+        report.used_tail,
+        report.scanned_sectors,
+        report.sectors_traversed,
+        report.service.total_ms()
+    );
+    let mut buf = vec![0u8; 4096];
+    for &p in &marker_pages {
+        recovered.read_block(p, &mut buf).expect("in range");
+        assert!(buf.iter().all(|&b| b == 0xEE), "page {p} lost after crash");
+    }
+    println!("last transaction intact after crash: atomic commit verified");
+}

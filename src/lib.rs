@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # vlfs — Virtual Log Based File Systems for a Programmable Disk
+//!
+//! A from-scratch Rust reproduction of Wang, Anderson & Patterson's OSDI '99
+//! paper. The workspace re-exported here contains:
+//!
+//! * [`disksim`] — the mechanical disk simulator (HP97560 & Seagate ST19101
+//!   models, virtual clock, service-time breakdowns);
+//! * [`vlog`] (`vlog-core`) — the paper's contribution: eager writing, the
+//!   virtual log (backward-chained, tree-linked indirection map with
+//!   recyclable entries), crash recovery from the firmware tail record,
+//!   atomic multi-block transactions, idle-time track compaction, and the
+//!   [`vlog::Vld`] logical disk;
+//! * [`ufs`] — the update-in-place baseline file system;
+//! * [`lfs`] — the log-structured stack (segments, cleaner, NVRAM buffer);
+//! * [`models`] (`vlog-models`) — the analytical models of §2;
+//! * [`fscore`] — the shared file-system trait and host CPU model.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use disksim::{BlockDevice, DiskSpec, SimClock};
+//! use vlfs::vlog::{Vld, VldConfig};
+//!
+//! // A Virtual Log Disk on a simulated 1998 Seagate drive.
+//! let mut vld = Vld::format(DiskSpec::st19101_sim(), SimClock::new(), VldConfig::default());
+//! let block = vec![42u8; vld.block_size()];
+//!
+//! // Small synchronous writes land near the head: far under a half
+//! // rotation (3 ms on this drive), the update-in-place lower bound.
+//! let t = vld.write_block(7, &block).unwrap();
+//! assert!(t.total_ms() < 1.0);
+//! ```
+//!
+//! See `examples/` for complete scenarios (database commits, a mail-server
+//! workload, crash recovery) and the `vlfs-bench` crate for the harnesses
+//! that regenerate every table and figure of the paper.
+
+pub use disksim;
+pub use fscore;
+pub use lfs;
+pub use ufs;
+pub use vlog_core as vlog;
+pub use vlog_models as models;

@@ -1,0 +1,311 @@
+//! Property-based tests: random workloads model-checked against simple
+//! in-memory reference models, including crash/recovery equivalence.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use vlfs::disksim::{BlockDevice, Disk, DiskSpec, SimClock};
+use vlfs::fscore::{FileSystem, HostModel};
+use vlfs::ufs::{Ufs, UfsConfig};
+use vlfs::vlog::{AllocConfig, EagerAllocator, FreeMap, VirtualLog, Vld, VldConfig};
+
+/// A small drive keeps the state space tight while still spanning several
+/// cylinders and tracks.
+fn small_spec() -> DiskSpec {
+    DiskSpec::st19101(3)
+}
+
+/// One step of the virtual-log model check.
+#[derive(Debug, Clone)]
+enum VlogOp {
+    /// Write `fill` to logical block `lb`.
+    Write { lb: u64, fill: u8 },
+    /// Atomic batch write.
+    Batch { lbs: Vec<u64>, fill: u8 },
+    /// Trim a logical block.
+    Trim { lb: u64 },
+    /// Grant idle time (compaction + checkpoint).
+    Idle,
+    /// Orderly shutdown, then recover.
+    ShutdownRecover,
+    /// Power failure, then recover (scan fallback).
+    CrashRecover,
+}
+
+fn vlog_op(max_lb: u64) -> impl Strategy<Value = VlogOp> {
+    prop_oneof![
+        6 => (0..max_lb, any::<u8>()).prop_map(|(lb, fill)| VlogOp::Write { lb, fill }),
+        2 => (proptest::collection::vec(0..max_lb, 1..6), any::<u8>())
+            .prop_map(|(lbs, fill)| VlogOp::Batch { lbs, fill }),
+        1 => (0..max_lb).prop_map(|lb| VlogOp::Trim { lb }),
+        1 => Just(VlogOp::Idle),
+        1 => Just(VlogOp::ShutdownRecover),
+        1 => Just(VlogOp::CrashRecover),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The VLD behaves exactly like a HashMap of blocks, across writes,
+    /// trims, batches, compaction, and both recovery paths.
+    #[test]
+    fn vld_matches_block_model(ops in proptest::collection::vec(vlog_op(96), 1..40)) {
+        let spec = small_spec();
+        let o = spec.command_overhead_ns;
+        let cfg = VldConfig::default();
+        let mut vld = Vld::format(spec, SimClock::new(), cfg);
+        let max_lb = 96u64.min(vld.num_blocks());
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        let block = |fill: u8| vec![fill; 4096];
+
+        for op in ops {
+            match op {
+                VlogOp::Write { lb, fill } if lb < max_lb => {
+                    vld.write_block(lb, &block(fill)).unwrap();
+                    model.insert(lb, fill);
+                }
+                VlogOp::Batch { lbs, fill } => {
+                    let data = block(fill);
+                    let batch: Vec<(u64, &[u8])> = lbs
+                        .iter()
+                        .filter(|&&lb| lb < max_lb)
+                        .map(|&lb| (lb, data.as_slice()))
+                        .collect();
+                    if !batch.is_empty() {
+                        vld.write_atomic(&batch).unwrap();
+                        for (lb, _) in batch {
+                            model.insert(lb, fill);
+                        }
+                    }
+                }
+                VlogOp::Trim { lb } if lb < max_lb => {
+                    vld.trim(lb).unwrap();
+                    model.remove(&lb);
+                }
+                VlogOp::Idle => {
+                    vld.idle(500_000_000);
+                }
+                VlogOp::ShutdownRecover => {
+                    vld.shutdown().unwrap();
+                    let disk = vld.crash();
+                    let (v, report) = Vld::recover(disk, o, cfg).unwrap();
+                    prop_assert!(report.used_tail);
+                    vld = v;
+                }
+                VlogOp::CrashRecover => {
+                    let disk = vld.crash();
+                    let (v, report) = Vld::recover(disk, o, cfg).unwrap();
+                    prop_assert!(!report.used_tail);
+                    prop_assert!(report.scanned_sectors > 0);
+                    vld = v;
+                }
+                _ => {}
+            }
+        }
+        // Final audit: every model block reads back; unmapped blocks zero.
+        let mut buf = vec![0u8; 4096];
+        for lb in 0..max_lb {
+            vld.read_block(lb, &mut buf).unwrap();
+            match model.get(&lb) {
+                Some(&fill) => prop_assert!(
+                    buf.iter().all(|&b| b == fill),
+                    "block {lb} expected fill {fill}"
+                ),
+                None => prop_assert!(
+                    buf.iter().all(|&b| b == 0),
+                    "unmapped block {lb} should read zero"
+                ),
+            }
+        }
+    }
+
+    /// The eager allocator only ever returns genuinely free, in-bounds,
+    /// aligned candidates, and its cost prediction matches the disk model.
+    #[test]
+    fn allocator_candidates_are_valid(
+        occupied in proptest::collection::vec((0u32..3, 0u32..16, 0u32..32), 0..120),
+        one_way in any::<bool>(),
+    ) {
+        let mut spec = small_spec();
+        spec.command_overhead_ns = 0;
+        let disk = Disk::new(spec.clone(), SimClock::new());
+        let mut free = FreeMap::new(&spec.geometry);
+        for (cyl, track, slot) in occupied {
+            free.allocate(cyl, track, slot * 8, 8).unwrap();
+        }
+        let mut alloc = EagerAllocator::new(AllocConfig {
+            one_way_sweep: one_way,
+            ..AllocConfig::default()
+        });
+        if let Some(c) = alloc.find_block(&disk, &free) {
+            prop_assert!(free.run_free(c.cyl, c.track, c.sector, 8));
+            prop_assert_eq!(c.sector % 8, 0, "aligned");
+            let cost = disk.position_cost(c.cyl, c.track, c.sector).unwrap();
+            prop_assert_eq!(cost.locate_ns(), c.cost.locate_ns());
+        }
+        if let Some(c) = alloc.find_sector(&disk, &free) {
+            prop_assert!(free.is_free(c.cyl, c.track, c.sector));
+        }
+    }
+
+    /// Formula (1) equals the exact combinatorial recurrence everywhere.
+    #[test]
+    fn single_track_model_is_exact(n in 1u64..300, k_frac in 0.0f64..=1.0) {
+        let k = (n as f64 * k_frac) as u64;
+        let closed = vlfs::models::single_track::expected_skips_exact(n, k);
+        let rec = vlfs::models::single_track::expected_skips_recurrence(n, k);
+        prop_assert!((closed - rec).abs() < 1e-6, "n={n} k={k}: {closed} vs {rec}");
+    }
+
+    /// The cylinder model's closed form equals its defining double sum.
+    #[test]
+    fn cylinder_model_closed_form(
+        p in 0.02f64..0.95,
+        s in 1u64..40,
+        t in 2u32..20,
+    ) {
+        let sum = vlfs::models::cylinder::expected_latency_sum(p, s, t, 3000);
+        let closed = vlfs::models::cylinder::expected_latency(p, s, t);
+        prop_assert!((sum - closed).abs() < 1e-4, "p={p} s={s} t={t}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// UFS behaves like a map of named byte vectors under random small
+    /// operations, including across sync + cache drops.
+    #[test]
+    fn ufs_matches_file_model(
+        ops in proptest::collection::vec(
+            (0u8..4, 0u8..6, 0u32..20_000, 0u16..5000), 1..30
+        )
+    ) {
+        let dev = Box::new(vlfs::disksim::RegularDisk::new(
+            small_spec(),
+            SimClock::new(),
+            4096,
+        ));
+        let mut fs = Ufs::format(dev, HostModel::instant(), UfsConfig::default()).unwrap();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+
+        for (kind, name_i, off, len) in ops {
+            let name = format!("f{name_i}");
+            match kind {
+                0 => {
+                    // create
+                    let r = fs.create(&name);
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(name) {
+                        prop_assert!(r.is_ok());
+                        e.insert(Vec::new());
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                1 => {
+                    // write
+                    if let Some(content) = model.get_mut(&name) {
+                        let f = fs.open(&name).unwrap();
+                        let data = vec![(off as u8) ^ (len as u8); len as usize];
+                        fs.write(f, off as u64, &data).unwrap();
+                        let end = off as usize + data.len();
+                        if content.len() < end {
+                            content.resize(end, 0);
+                        }
+                        content[off as usize..end].copy_from_slice(&data);
+                    } else {
+                        prop_assert!(fs.open(&name).is_err());
+                    }
+                }
+                2 => {
+                    // delete
+                    let r = fs.delete(&name);
+                    prop_assert_eq!(r.is_ok(), model.remove(&name).is_some());
+                }
+                _ => {
+                    // sync + drop caches
+                    fs.sync().unwrap();
+                    fs.drop_caches();
+                }
+            }
+        }
+        fs.sync().unwrap();
+        fs.drop_caches();
+        for (name, content) in &model {
+            let f = fs.open(name).unwrap();
+            prop_assert_eq!(fs.file_size(f).unwrap(), content.len() as u64);
+            let mut out = vec![0u8; content.len()];
+            fs.read(f, 0, &mut out).unwrap();
+            prop_assert_eq!(&out, content, "{} diverged", name);
+        }
+    }
+}
+
+/// Crash-atomicity: write_atomic batches are all-or-nothing even when the
+/// crash lands between the data writes and the commit (simulated by
+/// crashing immediately after — the commit is on disk, so "all").
+#[test]
+fn atomic_batches_never_tear() {
+    let spec = small_spec();
+    let o = spec.command_overhead_ns;
+    let cfg = VldConfig::default();
+    let mut vld = Vld::format(spec, SimClock::new(), cfg);
+    // Base state.
+    for lb in 0..60u64 {
+        vld.write_block(lb, &vec![1u8; 4096]).unwrap();
+    }
+    // Committed transaction spanning pieces, then crash.
+    let data = vec![2u8; 4096];
+    let far = vld.num_blocks() - 2;
+    let batch: Vec<(u64, &[u8])> = vec![(0, &data), (30, &data), (far, &data)];
+    vld.write_atomic(&batch).unwrap();
+    let disk = vld.crash();
+    let (mut vld, _) = Vld::recover(disk, o, cfg).unwrap();
+    let mut buf = vec![0u8; 4096];
+    for &lb in &[0u64, 30, far] {
+        vld.read_block(lb, &mut buf).unwrap();
+        assert!(
+            buf.iter().all(|&b| b == 2),
+            "committed batch must be visible"
+        );
+    }
+    for &lb in &[1u64, 29, 59] {
+        vld.read_block(lb, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1), "other blocks untouched");
+    }
+}
+
+/// Uncommitted transaction parts are invisible after recovery: simulate a
+/// torn transaction by writing parts through the internals without the
+/// commit record.
+#[test]
+fn uncommitted_parts_are_invisible() {
+    use vlfs::vlog::{MapFlags, TxnInfo};
+    let spec = small_spec();
+    let mut internal = spec.clone();
+    internal.command_overhead_ns = 0;
+    let mut vlog = VirtualLog::format(Disk::new(internal, SimClock::new()), AllocConfig::default());
+    // Committed base.
+    vlog.write(5, &vec![7u8; 4096]).unwrap();
+    // Hand-craft a torn transaction: part without commit.
+    vlog.write_data_block_for_test(5, &vec![9u8; 4096]);
+    vlog.append_piece_for_test(
+        0,
+        MapFlags::TXN_PART,
+        Some(TxnInfo {
+            id: 99,
+            index: 0,
+            total: 2,
+        }),
+    );
+    let disk = vlog.crash();
+    let (mut vlog, report) = VirtualLog::recover(disk, AllocConfig::default()).unwrap();
+    assert!(report.uncommitted_skipped >= 1, "part must be recognised");
+    let mut buf = vec![0u8; 4096];
+    vlog.read(5, &mut buf).unwrap();
+    assert!(
+        buf.iter().all(|&b| b == 7),
+        "uncommitted overwrite must roll back to the committed value"
+    );
+}
