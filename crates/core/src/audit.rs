@@ -1,0 +1,289 @@
+//! Internal-consistency audit for the virtual log.
+//!
+//! Crash-point exploration needs a machine-checkable statement of what a
+//! *healthy* virtual log looks like, so that a log rebuilt by recovery at
+//! every possible power-cut point can be vetted. [`VirtualLog::check_consistency`]
+//! verifies, without mutating anything:
+//!
+//! * the forward map and the reverse map are mutually consistent (a
+//!   bijection over mapped blocks);
+//! * every live map piece on disk decodes, and matches the in-memory piece
+//!   directory (location, sequence) and the in-memory map (entries);
+//! * the newest piece is the log root;
+//! * the free map agrees exactly with reachability — every sector is
+//!   accounted for: allocated if and only if owned by the firmware area,
+//!   the checkpoint region, a mapped data block, a live piece block or a
+//!   block awaiting deferred release/recycling.
+
+use crate::log::{PieceLoc, VirtualLog, BLOCK_SECTORS};
+use crate::mapsector::{MapSector, PIECE_ENTRIES, UNMAPPED};
+use crate::tail::FIRMWARE_SECTORS;
+use disksim::SECTOR_BYTES;
+
+/// What a sector is owned by, for the accounting pass.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Owner {
+    None,
+    Firmware,
+    Checkpoint,
+    Data(u32),
+    Piece(u32),
+    PendingRecycle,
+    DeferredData,
+}
+
+impl Owner {
+    fn describe(self) -> String {
+        match self {
+            Owner::None => "unowned".into(),
+            Owner::Firmware => "firmware area".into(),
+            Owner::Checkpoint => "checkpoint region".into(),
+            Owner::Data(lb) => format!("data block of lb {lb}"),
+            Owner::Piece(p) => format!("map piece {p}"),
+            Owner::PendingRecycle => "pending-recycle map block".into(),
+            Owner::DeferredData => "deferred-release data block".into(),
+        }
+    }
+}
+
+impl VirtualLog {
+    /// Audit the log's invariants; returns a human-readable description of
+    /// every violation found (empty = consistent). Reads the media via
+    /// side-effect-free peeks, so the simulated clock and head do not move.
+    pub fn check_consistency(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        let cap = |errs: &Vec<String>| errs.len() >= 64;
+
+        // --- map ↔ rmap bijection ---------------------------------------
+        for (lb, &pb) in self.map.iter().enumerate() {
+            if pb == UNMAPPED {
+                continue;
+            }
+            match self.rmap.get(pb as usize) {
+                Some(&back) if back as usize == lb => {}
+                Some(&back) => errs.push(format!(
+                    "map[{lb}] = pb {pb}, but rmap[{pb}] = {back}"
+                )),
+                None => errs.push(format!("map[{lb}] = pb {pb} beyond device")),
+            }
+            if cap(&errs) {
+                return errs;
+            }
+        }
+        for (pb, &lb) in self.rmap.iter().enumerate() {
+            if lb == UNMAPPED {
+                continue;
+            }
+            match self.map.get(lb as usize) {
+                Some(&fwd) if fwd as usize == pb => {}
+                Some(&fwd) => errs.push(format!(
+                    "rmap[{pb}] = lb {lb}, but map[{lb}] = {fwd}"
+                )),
+                None => errs.push(format!("rmap[{pb}] = lb {lb} beyond capacity")),
+            }
+            if cap(&errs) {
+                return errs;
+            }
+        }
+
+        // --- on-disk pieces match the directory and the map --------------
+        let mut newest: Option<(u32, PieceLoc)> = None;
+        for (idx, loc) in self.pieces.iter().enumerate() {
+            let Some(loc) = *loc else { continue };
+            if newest.is_none_or(|(_, n)| loc.seq > n.seq) {
+                newest = Some((idx as u32, loc));
+            }
+            let mut buf = [0u8; SECTOR_BYTES];
+            if self.disk.peek_sectors(loc.lba, &mut buf).is_err() {
+                errs.push(format!("piece {idx}: lba {} unreadable", loc.lba));
+                continue;
+            }
+            let Some(sector) = MapSector::decode(&buf) else {
+                errs.push(format!(
+                    "piece {idx}: sector at lba {} does not decode",
+                    loc.lba
+                ));
+                continue;
+            };
+            if sector.piece != idx as u32 {
+                errs.push(format!(
+                    "piece {idx}: on-disk sector names piece {}",
+                    sector.piece
+                ));
+            }
+            if sector.seq != loc.seq {
+                errs.push(format!(
+                    "piece {idx}: directory seq {} vs on-disk seq {}",
+                    loc.seq, sector.seq
+                ));
+            }
+            let start = idx * PIECE_ENTRIES;
+            for (k, &entry) in sector.entries.iter().enumerate() {
+                let want = self.map.get(start + k).copied().unwrap_or(UNMAPPED);
+                if entry != want {
+                    errs.push(format!(
+                        "piece {idx} entry {k} (lb {}): on-disk {entry} vs memory {want}",
+                        start + k
+                    ));
+                    break; // one mismatch per piece is enough signal
+                }
+            }
+            if cap(&errs) {
+                return errs;
+            }
+        }
+
+        // --- the newest piece is the root --------------------------------
+        match (self.root, newest) {
+            (Some((lba, seq)), Some((idx, loc))) => {
+                if loc.seq != seq || loc.lba != lba {
+                    errs.push(format!(
+                        "root is (lba {lba}, seq {seq}) but newest piece {idx} \
+                         is (lba {}, seq {})",
+                        loc.lba, loc.seq
+                    ));
+                }
+            }
+            (Some((lba, seq)), None) => errs.push(format!(
+                "root is (lba {lba}, seq {seq}) but no piece is live"
+            )),
+            (None, Some((idx, _))) => {
+                errs.push(format!("no root, but piece {idx} is live"))
+            }
+            (None, None) => {}
+        }
+
+        // --- free map agrees with reachability ---------------------------
+        let g = &self.disk.spec().geometry;
+        let total = g.total_sectors();
+        let mut owner = vec![Owner::None; total as usize];
+        let claim = |owner: &mut Vec<Owner>,
+                         errs: &mut Vec<String>,
+                         lba: u64,
+                         count: u64,
+                         who: Owner| {
+            for s in lba..lba + count {
+                if s >= total {
+                    errs.push(format!("{} claims sector {s} beyond device", who.describe()));
+                    return;
+                }
+                let prev = owner[s as usize];
+                if prev != Owner::None {
+                    errs.push(format!(
+                        "sector {s} claimed by both {} and {}",
+                        prev.describe(),
+                        who.describe()
+                    ));
+                    return;
+                }
+                owner[s as usize] = who;
+            }
+        };
+        claim(&mut owner, &mut errs, 0, FIRMWARE_SECTORS, Owner::Firmware);
+        claim(
+            &mut owner,
+            &mut errs,
+            self.ckpt_region.slot_a,
+            self.ckpt_region.end() - self.ckpt_region.slot_a,
+            Owner::Checkpoint,
+        );
+        let bs = BLOCK_SECTORS as u64;
+        for (lb, &pb) in self.map.iter().enumerate() {
+            if pb != UNMAPPED {
+                claim(&mut owner, &mut errs, pb as u64 * bs, bs, Owner::Data(lb as u32));
+            }
+        }
+        for (idx, loc) in self.pieces.iter().enumerate() {
+            if let Some(loc) = loc {
+                claim(&mut owner, &mut errs, loc.lba, bs, Owner::Piece(idx as u32));
+            }
+        }
+        for &lba in &self.pending_recycle {
+            claim(&mut owner, &mut errs, lba, bs, Owner::PendingRecycle);
+        }
+        for &pb in &self.deferred_blocks {
+            claim(&mut owner, &mut errs, pb as u64 * bs, bs, Owner::DeferredData);
+        }
+        if cap(&errs) {
+            return errs;
+        }
+        for s in 0..total {
+            let p = g.lba_to_phys(s).expect("sector within geometry");
+            let free = self.free.is_free(p.cyl, p.track, p.sector);
+            let owned = owner[s as usize] != Owner::None;
+            if free && owned {
+                errs.push(format!(
+                    "sector {s} is owned ({}) but marked free",
+                    owner[s as usize].describe()
+                ));
+            } else if !free && !owned {
+                errs.push(format!("sector {s} is allocated but unreachable"));
+            }
+            if cap(&errs) {
+                return errs;
+            }
+        }
+        errs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocConfig;
+    use crate::log::BLOCK_BYTES;
+    use disksim::{Disk, DiskSpec, SimClock};
+
+    fn fresh() -> VirtualLog {
+        let mut spec = DiskSpec::hp97560_sim();
+        spec.command_overhead_ns = 0;
+        VirtualLog::format(Disk::new(spec, SimClock::new()), AllocConfig::default())
+    }
+
+    #[test]
+    fn fresh_and_busy_logs_are_consistent() {
+        let v = fresh();
+        assert_eq!(v.check_consistency(), Vec::<String>::new());
+        let mut v = fresh();
+        for lb in 0..200u64 {
+            v.write(lb, &vec![lb as u8; BLOCK_BYTES]).unwrap();
+        }
+        for lb in (0..200u64).step_by(3) {
+            v.write(lb, &vec![7u8; BLOCK_BYTES]).unwrap();
+        }
+        for lb in (0..200u64).step_by(7) {
+            v.trim(lb).unwrap();
+        }
+        v.checkpoint().unwrap();
+        assert_eq!(v.check_consistency(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn audit_detects_broken_bijection() {
+        let mut v = fresh();
+        v.write(0, &vec![1u8; BLOCK_BYTES]).unwrap();
+        let pb = v.translate(0).unwrap();
+        v.rmap[pb as usize] = 12345;
+        let errs = v.check_consistency();
+        assert!(!errs.is_empty());
+        assert!(errs.iter().any(|e| e.contains("rmap")), "{errs:?}");
+    }
+
+    #[test]
+    fn audit_detects_freemap_leak() {
+        let mut v = fresh();
+        v.write(0, &vec![1u8; BLOCK_BYTES]).unwrap();
+        // Allocate an unowned sector behind the log's back.
+        let g = v.disk.spec().geometry.clone();
+        let total = g.total_sectors();
+        let p = g.lba_to_phys(total - 1).unwrap();
+        if v.free.is_free(p.cyl, p.track, p.sector) {
+            v.free.allocate(p.cyl, p.track, p.sector, 1).unwrap();
+        }
+        let errs = v.check_consistency();
+        assert!(
+            errs.iter().any(|e| e.contains("unreachable")),
+            "{errs:?}"
+        );
+    }
+}

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod alloc;
+pub mod audit;
 pub mod checkpoint;
 pub mod checksum;
 pub mod compact;

@@ -121,6 +121,12 @@ impl Vld {
         &self.vlog
     }
 
+    /// Mutable access to the virtual log (fault-injection hooks in crash
+    /// tests).
+    pub fn vlog_mut(&mut self) -> &mut VirtualLog {
+        &mut self.vlog
+    }
+
     /// The compactor (for statistics).
     pub fn compactor(&self) -> &Compactor {
         &self.compactor
@@ -231,6 +237,10 @@ impl BlockDevice for Vld {
 
     fn disk_stats(&self) -> DiskStats {
         self.vlog.disk().stats()
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
     }
 }
 

@@ -1,0 +1,487 @@
+//! The crash-point sweep: cut power after every (or a seeded sample of
+//! every) acknowledged device write, remount through recovery, and check
+//! the durability invariants.
+//!
+//! The sweep leans entirely on determinism: a reference run with no faults
+//! armed counts the device writes `W` the workload performs and the write
+//! ordinal `W_f` at which each `Sync` frontier completes. A faulted run of
+//! the *same* workload performs the same writes in the same order, so
+//! "crash point `k`" is well defined: arm a plan that acknowledges exactly
+//! `k` writes and fails everything after. For each explored `k` the checks
+//! are:
+//!
+//! * **Acknowledged writes are on the media.** Every write the fault layer
+//!   acknowledged must read back (by content hash) from the surviving
+//!   state — raw sectors for the regular-disk stacks, the recovered
+//!   indirection map for the VLD.
+//! * **Recovery succeeds** and, for the VLD, does **not** claim a firmware
+//!   tail record (a power cut never leaves one).
+//! * **`fsck` finds no structural damage.** All three stacks write
+//!   metadata synchronously (UFS semantics), so a crash may leak blocks or
+//!   orphan inodes — the classes `fsck` exists to mop up — but must never
+//!   produce a dangling name, a doubly-referenced block, an out-of-range
+//!   pointer, or a size beyond the mapped pointers.
+//! * **Completed syncs are durable.** For every frontier at or before the
+//!   cut, files untouched after that frontier read back byte-exact, and
+//!   names deleted before it stay gone.
+//! * **Recovery paths converge.** For the VLD: audit the recovered log's
+//!   map/free-map/piece consistency, then shut down in an orderly fashion
+//!   and recover again — the tail-record path must be taken and must
+//!   produce the identical map the scan produced. For the LLD: remounting
+//!   the same image twice must give the identical block map at every
+//!   point, and at durability frontiers (where every on-media segment
+//!   summary is whole) scribbling over both checkpoint slots and
+//!   remounting must too — the summary-scan fallback rebuilds the same
+//!   state the checkpoint held. The scan check is restricted to frontiers
+//!   because it is only *guaranteed* there: a cut mid-way through the
+//!   re-flush of a partial segment tears that segment's summary, and a
+//!   scan without any checkpoint then legitimately loses the segment's
+//!   previous generation, which only the checkpoint still maps.
+
+use std::collections::BTreeSet;
+
+use disksim::fault::content_hash;
+use disksim::{downcast_device, FaultPlan};
+use fscore::FileSystem;
+use lfs::{LldConfig, LogDisk};
+use ufs::FsckError;
+use vlog_core::Vld;
+
+use crate::stack::{
+    build, remount, spec, teardown, vld_cfg, CrashState, StackKind, BLOCK,
+};
+use crate::workload::{apply, splitmix64, Workload};
+
+/// How to sweep one stack.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// The stack under test.
+    pub kind: StackKind,
+    /// The scripted workload.
+    pub workload: Workload,
+    /// `None` = every crash point; `Some((n, seed))` = `n` seeded sample
+    /// points (endpoints always included).
+    pub sample: Option<(usize, u64)>,
+    /// Also run torn-write variants (a partially persisted final write) at
+    /// each explored point. Skipped for the VLD stack, whose fault layer
+    /// sits at the command boundary.
+    pub torn: bool,
+    /// Run the recovery-path convergence checks at each point.
+    pub convergence: bool,
+}
+
+impl SweepConfig {
+    /// Exhaustive sweep with every check enabled.
+    pub fn exhaustive(kind: StackKind) -> Self {
+        SweepConfig {
+            kind,
+            workload: Workload::small_mixed(),
+            sample: None,
+            torn: true,
+            convergence: true,
+        }
+    }
+
+    /// Seeded sampling sweep (for larger configurations).
+    pub fn sampled(kind: StackKind, points: usize, seed: u64) -> Self {
+        SweepConfig {
+            sample: Some((points, seed)),
+            ..Self::exhaustive(kind)
+        }
+    }
+}
+
+/// What a sweep measured and found.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// The stack swept.
+    pub kind: StackKind,
+    /// Device-write ordinal at which each `Sync` frontier completed.
+    pub frontier_ops: Vec<u64>,
+    /// Total device writes of the full workload.
+    pub total_ops: u64,
+    /// Crash points explored (torn variants count separately).
+    pub points_run: usize,
+    /// Invariant violations, empty on success.
+    pub failures: Vec<String>,
+}
+
+impl SweepReport {
+    /// Panic with every failure if any invariant was violated.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.failures.is_empty(),
+            "{:?}: {} invariant violations:\n{}",
+            self.kind,
+            self.failures.len(),
+            self.failures.join("\n")
+        );
+    }
+}
+
+/// Reference-run a prefix of the workload with no faults and count the
+/// device writes it completes.
+fn reference_ops(kind: StackKind, w: &Workload, prefix: usize) -> u64 {
+    let mut fs = build(kind, FaultPlan::none()).expect("reference format failed");
+    apply(&mut fs, &w.ops[..prefix]).expect("reference run failed");
+    teardown(kind, fs).ops
+}
+
+/// Sweep crash points over one stack and check every invariant.
+pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
+    let w = &cfg.workload;
+    let frontiers = w.frontiers();
+    assert!(
+        frontiers.first() == Some(&1),
+        "workloads must open with a Sync so the format has a frontier"
+    );
+    let frontier_ops: Vec<u64> = frontiers
+        .iter()
+        .map(|&p| reference_ops(cfg.kind, w, p))
+        .collect();
+    let total_ops = reference_ops(cfg.kind, w, w.ops.len());
+    let mut failures = Vec::new();
+    // Non-decreasing: a Sync with nothing dirty adds no device writes.
+    for pair in frontier_ops.windows(2) {
+        if pair[0] > pair[1] {
+            failures.push(format!(
+                "frontier write counts decreasing: {frontier_ops:?}"
+            ));
+        }
+    }
+
+    // The sweep starts at the first frontier: before the opening Sync the
+    // buffered stacks legitimately have no recoverable file system yet
+    // (mkfs without a sync is not crash-durable on a log-structured disk).
+    let start = frontier_ops[0];
+    let mut points = BTreeSet::new();
+    match cfg.sample {
+        None => points.extend(start..=total_ops),
+        Some((n, seed)) => {
+            points.insert(start);
+            points.insert(total_ops);
+            let span = total_ops - start + 1;
+            let mut i = 0u64;
+            while points.len() < n.min(span as usize) {
+                points.insert(start + splitmix64(seed ^ i) % span);
+                i += 1;
+            }
+        }
+    }
+
+    let mut points_run = 0;
+    for &k in &points {
+        points_run += 1;
+        failures.extend(run_point(cfg, &frontiers, &frontier_ops, total_ops, k, None));
+        if cfg.torn && cfg.kind != StackKind::UfsVld && k < total_ops {
+            for survivors in [1, 3] {
+                points_run += 1;
+                failures.extend(run_point(
+                    cfg,
+                    &frontiers,
+                    &frontier_ops,
+                    total_ops,
+                    k,
+                    Some(survivors),
+                ));
+            }
+        }
+    }
+
+    SweepReport {
+        kind: cfg.kind,
+        frontier_ops,
+        total_ops,
+        points_run,
+        failures,
+    }
+}
+
+/// Run the workload against a plan that acknowledges exactly `k` writes —
+/// with `survivors` sectors of the `k+1`-th write torn onto the media —
+/// then check the crash state.
+fn run_point(
+    cfg: &SweepConfig,
+    frontiers: &[usize],
+    frontier_ops: &[u64],
+    total_ops: u64,
+    k: u64,
+    survivors: Option<u32>,
+) -> Vec<String> {
+    let tag = match survivors {
+        None => format!("k={k}"),
+        Some(s) => format!("k={k}+torn{s}"),
+    };
+    let plan = match survivors {
+        None => FaultPlan::power_cut_after(k),
+        Some(s) => FaultPlan::torn_power_cut(k + 1, s),
+    };
+    let mut fs = match build(cfg.kind, plan) {
+        Ok(fs) => fs,
+        Err(e) => return vec![format!("{tag}: format failed under plan: {e}")],
+    };
+    let ran = apply(&mut fs, &cfg.workload.ops);
+    let st = teardown(cfg.kind, fs);
+
+    let mut errs = Vec::new();
+    if k < total_ops {
+        if st.log.power_cuts == 0 {
+            // Write counts drifted from the reference run — determinism is
+            // broken and every later conclusion would be unsound.
+            return vec![format!(
+                "{tag}: cut never fired ({} ops completed, expected cut at {})",
+                st.ops,
+                k + 1
+            )];
+        }
+        if ran.is_ok() {
+            errs.push(format!("{tag}: workload completed despite a power cut"));
+        }
+        if st.ops != k {
+            errs.push(format!("{tag}: {} writes acknowledged, expected {k}", st.ops));
+        }
+    } else if let Err((i, e)) = ran {
+        return vec![format!("{tag}: op {i} failed with no fault armed: {e}")];
+    }
+    errs.extend(check_point(cfg, frontiers, frontier_ops, &tag, st));
+    errs
+}
+
+fn check_point(
+    cfg: &SweepConfig,
+    frontiers: &[usize],
+    frontier_ops: &[u64],
+    tag: &str,
+    st: CrashState,
+) -> Vec<String> {
+    let mut errs = Vec::new();
+    let k = st.ops;
+
+    // 1. Acknowledged writes on raw media (the VLD variant reads through
+    // the recovered map below, since its blocks live wherever the eager
+    // allocator put them).
+    if cfg.kind != StackKind::UfsVld {
+        for (&blk, &h) in &st.acked {
+            if st.log.torn_block == Some(blk) {
+                continue; // superseded by an unacknowledged torn write
+            }
+            match st.media_hash(blk) {
+                Some(mh) if mh == h => {}
+                Some(_) => errs.push(format!(
+                    "{tag}: acknowledged write to device block {blk} lost from media"
+                )),
+                None => errs.push(format!("{tag}: device block {blk} unreadable")),
+            }
+        }
+    }
+
+    // 2. Recovery must bring the stack back up.
+    let CrashState { disk, acked, log, .. } = st;
+    let mut rm = match remount(cfg.kind, disk) {
+        Ok(rm) => rm,
+        Err(e) => {
+            errs.push(format!("{tag}: remount failed: {e}"));
+            return errs;
+        }
+    };
+    if let Some(rep) = &rm.vld_report {
+        if log.power_cuts > 0 && rep.used_tail {
+            errs.push(format!(
+                "{tag}: recovery claims a firmware tail record after a power cut"
+            ));
+        }
+    }
+
+    // 1b. VLD acknowledged writes, through the recovered indirection map.
+    if cfg.kind == StackKind::UfsVld {
+        let dev = rm.fs.device_mut();
+        let mut buf = vec![0u8; BLOCK];
+        for (&blk, &h) in &acked {
+            match dev.read_block(blk, &mut buf) {
+                Ok(_) if content_hash(&buf) == h => {}
+                Ok(_) => errs.push(format!(
+                    "{tag}: acknowledged write to logical block {blk} lost after recovery"
+                )),
+                Err(e) => errs.push(format!(
+                    "{tag}: logical block {blk} unreadable after recovery: {e}"
+                )),
+            }
+        }
+    }
+
+    // 3. No structural damage.
+    match ufs::fsck(rm.fs.device_mut()) {
+        Ok(report) => {
+            for e in &report.errors {
+                if severe(e) {
+                    errs.push(format!("{tag}: fsck: {e:?}"));
+                }
+            }
+        }
+        Err(e) => errs.push(format!("{tag}: fsck failed: {e}")),
+    }
+
+    // 4. Every completed frontier's promises hold.
+    for (i, &wf) in frontier_ops.iter().enumerate() {
+        if k < wf {
+            continue;
+        }
+        let exp = cfg.workload.expectations(frontiers[i]);
+        for (name, content) in &exp.present {
+            match read_file(&mut rm.fs, name) {
+                Ok(got) if got == *content => {}
+                Ok(got) => errs.push(format!(
+                    "{tag}: durable file {name} corrupt ({} bytes, expected {})",
+                    got.len(),
+                    content.len()
+                )),
+                Err(e) => errs.push(format!("{tag}: durable file {name} unreadable: {e}")),
+            }
+        }
+        for name in &exp.absent {
+            if rm.fs.open(name).is_ok() {
+                errs.push(format!("{tag}: durably deleted file {name} still visible"));
+            }
+        }
+    }
+
+    // 5. Recovery paths converge. The full summary-scan check is sound
+    // only in clean states: exactly at a frontier, with no torn write on
+    // the media.
+    if cfg.convergence {
+        let clean_frontier = log.torn_block.is_none() && frontier_ops.contains(&k);
+        match cfg.kind {
+            StackKind::UfsRegular => {}
+            StackKind::UfsVld => errs.extend(vld_convergence(tag, rm.fs)),
+            StackKind::UfsLfs => errs.extend(lld_convergence(tag, rm.fs, clean_frontier)),
+        }
+    }
+    errs
+}
+
+/// Audit the recovered virtual log, then take the *other* recovery path
+/// (orderly shutdown → tail record) and demand the identical map.
+fn vld_convergence(tag: &str, fs: ufs::Ufs) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut vld: Vld = downcast_device(fs.into_device());
+    for msg in vld.vlog().check_consistency() {
+        errs.push(format!("{tag}: vlog audit: {msg}"));
+    }
+    let n = vld.vlog().num_blocks();
+    let map1: Vec<Option<u64>> = (0..n).map(|lb| vld.vlog().translate(lb)).collect();
+    if let Err(e) = vld.shutdown() {
+        errs.push(format!("{tag}: shutdown failed: {e}"));
+        return errs;
+    }
+    match Vld::recover(vld.crash(), spec().command_overhead_ns, vld_cfg()) {
+        Ok((v2, rep2)) => {
+            if !rep2.used_tail {
+                errs.push(format!(
+                    "{tag}: tail-record path not taken after orderly shutdown"
+                ));
+            }
+            let map2: Vec<Option<u64>> = (0..n).map(|lb| v2.vlog().translate(lb)).collect();
+            if map1 != map2 {
+                errs.push(format!(
+                    "{tag}: tail-record and scan recovery disagree on the indirection map"
+                ));
+            }
+            for msg in v2.vlog().check_consistency() {
+                errs.push(format!("{tag}: vlog audit after second recovery: {msg}"));
+            }
+        }
+        Err(e) => errs.push(format!("{tag}: recovery after orderly shutdown failed: {e}")),
+    }
+    errs
+}
+
+/// LLD convergence: remounting the same image again must be a no-op, and
+/// in clean states the summary-scan fallback (both checkpoint slots
+/// destroyed) must rebuild the same block map the checkpoint path held.
+fn lld_convergence(tag: &str, fs: ufs::Ufs, full_scan: bool) -> Vec<String> {
+    let mut errs = Vec::new();
+    let lld: LogDisk = downcast_device(fs.into_device());
+    let map1 = lld.map_snapshot();
+    let (ck_start, ck_len) = lld.checkpoint_region();
+    let l2 = match LogDisk::mount(lld.crash(), LldConfig::default()) {
+        Ok(l2) => l2,
+        Err(e) => {
+            errs.push(format!("{tag}: second LLD mount failed: {e}"));
+            return errs;
+        }
+    };
+    if l2.map_snapshot() != map1 {
+        errs.push(format!("{tag}: LLD recovery is not idempotent"));
+    }
+    if !full_scan {
+        return errs;
+    }
+    let mut inner = l2.crash();
+    let junk = vec![0xA5u8; BLOCK];
+    for b in 0..ck_len {
+        if let Err(e) = inner.write_block(ck_start + b, &junk) {
+            errs.push(format!("{tag}: cannot overwrite checkpoint slot: {e}"));
+            return errs;
+        }
+    }
+    match LogDisk::mount(inner, LldConfig::default()) {
+        Ok(l3) => {
+            if l3.map_snapshot() != map1 {
+                errs.push(format!(
+                    "{tag}: checkpoint and summary-scan recovery disagree on the LLD map"
+                ));
+            }
+        }
+        Err(e) => errs.push(format!("{tag}: summary-scan mount failed: {e}")),
+    }
+    errs
+}
+
+/// The fsck classes a crash must never produce on a sync-metadata file
+/// system. Leaks, orphans and stale bitmap bits are the expected debris of
+/// delayed bitmap/inode-growth writes; these four mean structure was lost.
+fn severe(e: &FsckError) -> bool {
+    matches!(
+        e,
+        FsckError::PointerOutOfRange { .. }
+            | FsckError::DoubleReference { .. }
+            | FsckError::DanglingDirent { .. }
+            | FsckError::SizeBeyondPointers { .. }
+    )
+}
+
+fn read_file(fs: &mut ufs::Ufs, name: &str) -> Result<Vec<u8>, fscore::FsError> {
+    let id = fs.open(name)?;
+    let size = fs.file_size(id)? as usize;
+    let mut buf = vec![0u8; size];
+    let n = fs.read(id, 0, &mut buf)?;
+    buf.truncate(n);
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap sampled sweep of each stack — the exhaustive sweeps live in
+    /// the workspace-level integration tests.
+    #[test]
+    fn sampled_sweep_is_clean_on_every_stack() {
+        for kind in crate::stack::ALL_STACKS {
+            let mut cfg = SweepConfig::sampled(kind, 4, 0xc0ffee);
+            cfg.torn = false;
+            let rep = run_sweep(&cfg);
+            assert!(rep.points_run >= 2, "{kind:?}: no points explored");
+            rep.assert_clean();
+        }
+    }
+
+    #[test]
+    fn torn_variants_run_on_raw_stacks() {
+        let cfg = SweepConfig::sampled(StackKind::UfsRegular, 3, 7);
+        let rep = run_sweep(&cfg);
+        // Each interior point adds two torn variants.
+        assert!(rep.points_run > 3);
+        rep.assert_clean();
+    }
+}

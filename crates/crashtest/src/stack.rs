@@ -1,0 +1,225 @@
+//! Building, crashing and remounting the paper's device stacks.
+//!
+//! The three stacks of Figure 5 that the harness explores, each with a
+//! [`FaultDisk`] spliced in at the layer whose write stream defines the
+//! crash points:
+//!
+//! * **UFS on a regular disk** — `Ufs → FaultDisk → RegularDisk`. Crash
+//!   points are raw in-place sector writes.
+//! * **UFS on the VLD** — `Ufs → FaultDisk → Vld`. The VLD services whole
+//!   commands (an eager write plus its map commit) atomically inside the
+//!   drive, so faults are injected at the command boundary; mid-command
+//!   atomicity is exercised separately through the virtual log's own
+//!   fault hooks.
+//! * **LFS** — `Ufs → LogDisk → FaultDisk → RegularDisk`. The
+//!   log-structured logical disk's segment and checkpoint writes hit the
+//!   fault layer block by block, so a cut mid-flush leaves a genuinely
+//!   torn segment on the media.
+//!
+//! `teardown` simulates the power failure: the stack is dismantled without
+//! any shutdown courtesy, volatile state (caches, buffered segments, the
+//! VLD's in-memory map) evaporates, and only the mechanical disk's sectors
+//! survive. `remount` then drives the stack's actual recovery path over
+//! those sectors.
+
+use std::collections::HashMap;
+
+use disksim::{
+    downcast_device, Disk, DiskSpec, FaultDisk, FaultLog, FaultPlan, RegularDisk, SimClock,
+};
+use fscore::{FsError, FsResult, HostModel};
+use lfs::{LldConfig, LogDisk};
+use ufs::{Ufs, UfsConfig};
+use vlog_core::recovery::RecoveryReport;
+use vlog_core::vld::{Vld, VldConfig};
+
+/// Logical block size every stack runs at.
+pub const BLOCK: usize = 4096;
+const SECTORS_PER_BLOCK: u64 = (BLOCK / disksim::SECTOR_BYTES) as u64;
+
+/// Which of the paper's stacks to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackKind {
+    /// UFS over an update-in-place disk.
+    UfsRegular,
+    /// UFS over the virtual-log disk.
+    UfsVld,
+    /// UFS file layer over the log-structured logical disk.
+    UfsLfs,
+}
+
+/// All three stacks, sweep order.
+pub const ALL_STACKS: [StackKind; 3] = [StackKind::UfsRegular, StackKind::UfsVld, StackKind::UfsLfs];
+
+pub(crate) fn spec() -> DiskSpec {
+    DiskSpec::hp97560_sim()
+}
+
+fn ufs_cfg() -> UfsConfig {
+    UfsConfig {
+        // Small inode table keeps format cheap so the sweep explores the
+        // workload, not mkfs; read-ahead off for cross-stack uniformity
+        // (the paper disables it on the LLD anyway).
+        inode_count: 64,
+        cache_bytes: 1 << 20,
+        readahead_blocks: 0,
+        ..UfsConfig::default()
+    }
+}
+
+pub(crate) fn vld_cfg() -> VldConfig {
+    VldConfig::default()
+}
+
+/// Build a freshly formatted stack with `plan` armed in its fault layer.
+pub fn build(kind: StackKind, plan: FaultPlan) -> FsResult<Ufs> {
+    let clock = SimClock::new();
+    let host = HostModel::instant();
+    match kind {
+        StackKind::UfsRegular => {
+            let raw = RegularDisk::new(spec(), clock, BLOCK);
+            let faulty = FaultDisk::new(Box::new(raw), plan);
+            Ufs::format(Box::new(faulty), host, ufs_cfg())
+        }
+        StackKind::UfsVld => {
+            let vld = Vld::format(spec(), clock, vld_cfg());
+            let faulty = FaultDisk::new(Box::new(vld), plan);
+            Ufs::format(Box::new(faulty), host, ufs_cfg())
+        }
+        StackKind::UfsLfs => {
+            let raw = RegularDisk::new(spec(), clock, BLOCK);
+            let faulty = FaultDisk::new(Box::new(raw), plan);
+            let lld = LogDisk::format(Box::new(faulty), LldConfig::default())?;
+            Ufs::format(Box::new(lld), host, ufs_cfg())
+        }
+    }
+}
+
+/// What survives the power failure.
+#[derive(Debug)]
+pub struct CrashState {
+    /// The mechanical disk's sectors — the only non-volatile state.
+    pub disk: Disk,
+    /// Write operations the fault layer completed (acknowledged).
+    pub ops: u64,
+    /// What the fault layer did (cuts, torn sectors, corruptions).
+    pub log: FaultLog,
+    /// Acknowledged writes: device block → content hash at ack time.
+    pub acked: HashMap<u64, u64>,
+}
+
+impl CrashState {
+    /// Peek an acknowledged block's current media content hash, bypassing
+    /// all logical layers (for the raw-device durability check).
+    pub fn media_hash(&self, block: u64) -> Option<u64> {
+        let mut buf = vec![0u8; BLOCK];
+        self.disk
+            .peek_sectors(block * SECTORS_PER_BLOCK, &mut buf)
+            .ok()?;
+        Some(disksim::fault::content_hash(&buf))
+    }
+}
+
+/// Simulate the power failure: dismantle the stack, discard every volatile
+/// layer, keep only the media.
+pub fn teardown(kind: StackKind, fs: Ufs) -> CrashState {
+    let dev = fs.into_device();
+    match kind {
+        StackKind::UfsRegular => {
+            let faulty: FaultDisk = downcast_device(dev);
+            let (ops, log, acked) = fault_state(&faulty);
+            let raw: RegularDisk = downcast_device(faulty.into_inner());
+            CrashState { disk: raw.into_disk(), ops, log, acked }
+        }
+        StackKind::UfsVld => {
+            let faulty: FaultDisk = downcast_device(dev);
+            let (ops, log, acked) = fault_state(&faulty);
+            let vld: Vld = downcast_device(faulty.into_inner());
+            CrashState { disk: vld.crash(), ops, log, acked }
+        }
+        StackKind::UfsLfs => {
+            let lld: LogDisk = downcast_device(dev);
+            let faulty: FaultDisk = downcast_device(lld.crash());
+            let (ops, log, acked) = fault_state(&faulty);
+            let raw: RegularDisk = downcast_device(faulty.into_inner());
+            CrashState { disk: raw.into_disk(), ops, log, acked }
+        }
+    }
+}
+
+fn fault_state(f: &FaultDisk) -> (u64, FaultLog, HashMap<u64, u64>) {
+    (f.write_ops(), f.fault_log(), f.acked_blocks().clone())
+}
+
+/// A stack brought back up through its recovery path.
+pub struct Remounted {
+    /// The remounted file system (no fault layer this time).
+    pub fs: Ufs,
+    /// The VLD's recovery report, for the `UfsVld` stack.
+    pub vld_report: Option<RecoveryReport>,
+}
+
+/// Remount a crash state through the stack's recovery path.
+pub fn remount(kind: StackKind, disk: Disk) -> FsResult<Remounted> {
+    let host = HostModel::instant();
+    match kind {
+        StackKind::UfsRegular => {
+            let raw = RegularDisk::from_disk(disk, BLOCK);
+            let fs = Ufs::mount(Box::new(raw), host)?;
+            Ok(Remounted { fs, vld_report: None })
+        }
+        StackKind::UfsVld => {
+            let (vld, report) = Vld::recover(disk, spec().command_overhead_ns, vld_cfg())
+                .map_err(FsError::Disk)?;
+            let fs = Ufs::mount(Box::new(vld), host)?;
+            Ok(Remounted { fs, vld_report: Some(report) })
+        }
+        StackKind::UfsLfs => {
+            let raw = RegularDisk::from_disk(disk, BLOCK);
+            let lld = LogDisk::mount(Box::new(raw), LldConfig::default())?;
+            let fs = Ufs::mount(Box::new(lld), host)?;
+            Ok(Remounted { fs, vld_report: None })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{apply, Workload};
+
+    /// Every stack survives the full build → run → crash → remount cycle
+    /// with no faults armed.
+    #[test]
+    fn clean_round_trip_all_stacks() {
+        let w = Workload::small_mixed();
+        for kind in ALL_STACKS {
+            let mut fs = build(kind, FaultPlan::none()).expect("format");
+            apply(&mut fs, &w.ops).expect("workload");
+            let st = teardown(kind, fs);
+            assert!(st.ops > 0, "{kind:?}: no device writes counted");
+            assert_eq!(st.log.power_cuts, 0);
+            let rm = remount(kind, st.disk).expect("remount");
+            if let Some(rep) = &rm.vld_report {
+                assert!(!rep.used_tail, "crash teardown must not leave a tail record");
+            }
+        }
+    }
+
+    /// The device-write count is a pure function of (stack, workload):
+    /// rerunning measures the same `W` — the property the whole crash-point
+    /// naming scheme rests on.
+    #[test]
+    fn write_counts_are_deterministic() {
+        let w = Workload::small_mixed();
+        for kind in ALL_STACKS {
+            let mut counts = Vec::new();
+            for _ in 0..2 {
+                let mut fs = build(kind, FaultPlan::none()).expect("format");
+                apply(&mut fs, &w.ops).expect("workload");
+                counts.push(teardown(kind, fs).ops);
+            }
+            assert_eq!(counts[0], counts[1], "{kind:?}: nondeterministic write count");
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Scripted file-system workloads and the oracle predicting what a crash
+//! must preserve.
+//!
+//! A workload is a fixed list of [`Op`]s. Determinism of the simulator
+//! means a workload maps to one exact sequence of device writes, so the
+//! sweep driver can count writes on a reference run and then name crash
+//! points by ordinal. The oracle side answers: *given that the crash
+//! happened at or after a completed `Sync`, which files must read back
+//! exactly, and which names must be gone?*
+
+use std::collections::HashMap;
+
+use fscore::{FileSystem, FsError};
+use ufs::Ufs;
+
+/// One step of a scripted workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Create an empty file.
+    Create(&'static str),
+    /// Write `len` bytes of [`file_data`] at `offset`, with data writes in
+    /// synchronous or delayed mode.
+    Write {
+        /// Target file (must exist).
+        file: &'static str,
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        len: usize,
+        /// `O_SYNC`-style data write if true.
+        sync: bool,
+    },
+    /// Delete a file.
+    Delete(&'static str),
+    /// Flush everything dirty — a durability frontier.
+    Sync,
+}
+
+impl Op {
+    /// The file this op touches, if any.
+    fn target(&self) -> Option<&'static str> {
+        match self {
+            Op::Create(n) | Op::Delete(n) => Some(n),
+            Op::Write { file, .. } => Some(file),
+            Op::Sync => None,
+        }
+    }
+}
+
+/// What the oracle asserts about a crash state at (or after) a frontier.
+#[derive(Debug, Default)]
+pub struct Expectations {
+    /// Files whose exact content must be readable.
+    pub present: Vec<(String, Vec<u8>)>,
+    /// Names that must not resolve.
+    pub absent: Vec<String>,
+}
+
+/// A fixed op script. Convention: the script starts with an [`Op::Sync`]
+/// so the format itself has a durability frontier (on the log-structured
+/// logical disk a bare format is still buffered), and every later frontier
+/// is another explicit `Sync`.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The steps, applied in order.
+    pub ops: Vec<Op>,
+}
+
+impl Workload {
+    /// The standard small mixed workload: three files made durable across
+    /// one `sync`, then volatile churn (a delayed-write file, an overwrite,
+    /// a create-write-delete cycle) across a second `sync`, then trailing
+    /// writes that never reach a frontier.
+    pub fn small_mixed() -> Self {
+        use Op::*;
+        Workload {
+            ops: vec![
+                Sync, // frontier 0: format state durable
+                Create("alpha"),
+                Write { file: "alpha", offset: 0, len: 8192, sync: true },
+                Create("beta"),
+                Write { file: "beta", offset: 0, len: 4096, sync: false },
+                Write { file: "beta", offset: 4096, len: 4096, sync: false },
+                Create("gamma"),
+                Write { file: "gamma", offset: 0, len: 2048, sync: true },
+                Sync, // frontier 1: alpha, beta, gamma durable
+                Create("delta"),
+                Write { file: "delta", offset: 0, len: 12288, sync: false },
+                Write { file: "gamma", offset: 2048, len: 4096, sync: true },
+                Create("temp"),
+                Write { file: "temp", offset: 0, len: 4096, sync: false },
+                Delete("temp"),
+                Sync, // frontier 2: delta/gamma durable, temp durably gone
+                Create("late"),
+                Write { file: "late", offset: 0, len: 4096, sync: false },
+            ],
+        }
+    }
+
+    /// A larger create/write/delete churn over a fixed name pool, for the
+    /// sampled (non-exhaustive) sweeps: `rounds` rounds cycling through
+    /// eight names, mixed sync/delayed writes, periodic frontiers, and
+    /// name reuse (delete + recreate) once the pool wraps.
+    pub fn churn(rounds: usize) -> Self {
+        const NAMES: [&str; 8] =
+            ["f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7"];
+        assert!(rounds >= 1);
+        let mut ops = vec![Op::Sync];
+        for r in 0..rounds {
+            let n = NAMES[r % NAMES.len()];
+            if r >= NAMES.len() {
+                ops.push(Op::Delete(n));
+            }
+            ops.push(Op::Create(n));
+            ops.push(Op::Write {
+                file: n,
+                offset: 0,
+                len: 4096 * (1 + r % 3),
+                sync: r % 2 == 0,
+            });
+            if r % 2 == 1 {
+                ops.push(Op::Write { file: n, offset: 2048, len: 4096, sync: false });
+            }
+            if r % 3 == 2 {
+                ops.push(Op::Sync);
+            }
+        }
+        ops.push(Op::Sync);
+        Workload { ops }
+    }
+
+    /// Prefix lengths ending immediately after each `Sync` — the durability
+    /// frontiers, in order.
+    pub fn frontiers(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| **op == Op::Sync)
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// What must hold in any crash state at or after the frontier ending
+    /// at `prefix` ops.
+    ///
+    /// A file is asserted **present** (with exact content) if it exists
+    /// after `ops[..prefix]` and no later op touches it: the completed
+    /// `Sync` made it durable and nothing afterwards could legally change
+    /// it. A name is asserted **absent** if it does not exist at the
+    /// frontier and no later op creates it.
+    pub fn expectations(&self, prefix: usize) -> Expectations {
+        let mut files: HashMap<&str, Vec<u8>> = HashMap::new();
+        let mut ever: Vec<&str> = Vec::new();
+        for op in &self.ops[..prefix] {
+            if let Some(n) = op.target() {
+                if !ever.contains(&n) {
+                    ever.push(n);
+                }
+            }
+            match *op {
+                Op::Create(n) => {
+                    files.insert(n, Vec::new());
+                }
+                Op::Write { file, offset, len, .. } => {
+                    let content = files.get_mut(file).expect("write to missing file");
+                    let end = offset as usize + len;
+                    if content.len() < end {
+                        content.resize(end, 0);
+                    }
+                    content[offset as usize..end]
+                        .copy_from_slice(&file_data(file, offset, len));
+                }
+                Op::Delete(n) => {
+                    files.remove(n);
+                }
+                Op::Sync => {}
+            }
+        }
+        let touched_later: Vec<&str> =
+            self.ops[prefix..].iter().filter_map(|op| op.target()).collect();
+        let created_later: Vec<&str> = self.ops[prefix..]
+            .iter()
+            .filter_map(|op| match op {
+                Op::Create(n) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        let mut exp = Expectations::default();
+        for (&name, content) in &files {
+            if !touched_later.contains(&name) {
+                exp.present.push((name.to_string(), content.clone()));
+            }
+        }
+        for &name in &ever {
+            if !files.contains_key(name) && !created_later.contains(&name) {
+                exp.absent.push(name.to_string());
+            }
+        }
+        exp.present.sort();
+        exp.absent.sort();
+        exp
+    }
+}
+
+/// Deterministic file content: a pure function of (name, byte offset), so
+/// the oracle and the workload runner generate identical bytes without
+/// sharing state.
+pub fn file_data(name: &str, offset: u64, len: usize) -> Vec<u8> {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (0..len as u64)
+        .map(|i| {
+            let j = offset + i;
+            (splitmix64(h ^ (j / 8)) >> ((j % 8) * 8)) as u8
+        })
+        .collect()
+}
+
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Apply the ops in order, stopping at the first error (a power cut makes
+/// every subsequent device call fail). Returns the index of the op that
+/// failed and the error, or `Ok` if the whole script ran.
+pub fn apply(fs: &mut Ufs, ops: &[Op]) -> Result<(), (usize, FsError)> {
+    let mut handles: HashMap<&str, u64> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        let r = match *op {
+            Op::Create(n) => fs.create(n).map(|id| {
+                handles.insert(n, id);
+            }),
+            Op::Write { file, offset, len, sync } => {
+                fs.set_sync_writes(sync);
+                let id = handles[file];
+                fs.write(id, offset, &file_data(file, offset, len))
+            }
+            Op::Delete(n) => {
+                handles.remove(n);
+                fs.delete(n)
+            }
+            Op::Sync => fs.sync(),
+        };
+        if let Err(e) = r {
+            return Err((i, e));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontiers_found() {
+        let w = Workload::small_mixed();
+        let f = w.frontiers();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[0], 1);
+        assert!(matches!(w.ops[f[1] - 1], Op::Sync));
+        assert!(matches!(w.ops[f[2] - 1], Op::Sync));
+    }
+
+    #[test]
+    fn oracle_predicts_frozen_files() {
+        let w = Workload::small_mixed();
+        let f = w.frontiers();
+
+        // Frontier 0: no files yet, nothing assertable (everything is
+        // created later).
+        let e0 = w.expectations(f[0]);
+        assert!(e0.present.is_empty());
+        assert!(e0.absent.is_empty());
+
+        // Frontier 1: alpha and beta are never touched again; gamma is
+        // overwritten in phase 2 so it is not assertable here.
+        let e1 = w.expectations(f[1]);
+        let names: Vec<&str> = e1.present.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        assert_eq!(e1.present[0].1.len(), 8192);
+        assert!(e1.absent.is_empty());
+
+        // Frontier 2: gamma and delta join; temp must be durably gone.
+        let e2 = w.expectations(f[2]);
+        let names: Vec<&str> = e2.present.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta", "delta", "gamma"]);
+        assert_eq!(e2.absent, ["temp"]);
+        let gamma = &e2.present[3].1;
+        assert_eq!(gamma.len(), 2048 + 4096);
+        assert_eq!(&gamma[2048..], &file_data("gamma", 2048, 4096)[..]);
+    }
+
+    #[test]
+    fn file_data_is_stable_and_offset_consistent() {
+        // Two windows over the same range must agree byte-for-byte.
+        let a = file_data("x", 0, 64);
+        let b = file_data("x", 16, 48);
+        assert_eq!(&a[16..], &b[..]);
+        assert_ne!(file_data("x", 0, 16), file_data("y", 0, 16));
+    }
+}

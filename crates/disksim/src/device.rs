@@ -86,6 +86,20 @@ pub trait BlockDevice {
 
     /// Cumulative low-level disk statistics (for Figure 9-style breakdowns).
     fn disk_stats(&self) -> DiskStats;
+
+    /// Downcast support: convert the boxed device into [`std::any::Any`],
+    /// so harnesses that build device stacks (`Ufs` over `FaultDisk` over
+    /// `RegularDisk`, say) can unwrap them again after a simulated crash.
+    /// Every implementation is one line: `self`.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+/// Downcast a boxed device to a concrete type, panicking with a clear
+/// message if the stack is not what the caller believed.
+pub fn downcast_device<T: 'static>(dev: Box<dyn BlockDevice>) -> T {
+    *dev.into_any()
+        .downcast::<T>()
+        .unwrap_or_else(|_| panic!("device stack mismatch: expected {}", std::any::type_name::<T>()))
 }
 
 fn check_chunks(block_size: usize, len: usize) -> Result<()> {
@@ -127,6 +141,33 @@ impl RegularDisk {
             block_sectors,
             num_blocks,
         }
+    }
+
+    /// Wrap an *existing* mechanical disk (surviving media, e.g. after a
+    /// simulated crash) with `block_size`-byte logical blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a positive multiple of the sector size
+    /// (a configuration error).
+    pub fn from_disk(disk: Disk, block_size: usize) -> Self {
+        assert!(
+            block_size > 0 && block_size.is_multiple_of(SECTOR_BYTES),
+            "block size must be a multiple of {SECTOR_BYTES}"
+        );
+        let block_sectors = (block_size / SECTOR_BYTES) as u32;
+        let num_blocks = disk.spec().geometry.total_sectors() / block_sectors as u64;
+        Self {
+            disk,
+            block_sectors,
+            num_blocks,
+        }
+    }
+
+    /// Unwrap, yielding the mechanical disk (for crash-test remounts and
+    /// image comparison).
+    pub fn into_disk(self) -> Disk {
+        self.disk
     }
 
     /// Access the underlying mechanical disk (for cache policy, stats,
@@ -199,6 +240,10 @@ impl BlockDevice for RegularDisk {
 
     fn disk_stats(&self) -> DiskStats {
         self.disk.stats()
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
     }
 }
 

@@ -30,6 +30,13 @@ pub enum DiskError {
     Corrupt(&'static str),
     /// The operation is not supported by this device.
     Unsupported(&'static str),
+    /// The (simulated) drive lost power: the request did not happen and no
+    /// further request will succeed until the device is "re-powered" by
+    /// remounting its underlying media (see `fault::FaultDisk`).
+    PowerFailure,
+    /// A transient fault: this request failed with no side effects; an
+    /// identical retry may succeed.
+    Transient,
 }
 
 impl fmt::Display for DiskError {
@@ -48,6 +55,8 @@ impl fmt::Display for DiskError {
             DiskError::NoSpace => write!(f, "no free space on device"),
             DiskError::Corrupt(what) => write!(f, "on-disk corruption detected: {what}"),
             DiskError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            DiskError::PowerFailure => write!(f, "device lost power"),
+            DiskError::Transient => write!(f, "transient device fault (retry may succeed)"),
         }
     }
 }

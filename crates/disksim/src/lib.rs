@@ -30,6 +30,7 @@ pub mod clock;
 pub mod device;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod image;
 pub mod mech;
@@ -39,9 +40,10 @@ pub mod spec;
 
 pub use cache::{CachePolicy, TrackCache};
 pub use clock::SimClock;
-pub use device::{BlockDevice, RegularDisk};
+pub use device::{downcast_device, BlockDevice, RegularDisk};
 pub use disk::{Disk, DiskStats, HeadPosition};
 pub use error::{DiskError, Result};
+pub use fault::{FaultDisk, FaultLog, FaultPlan, WriteFault};
 pub use geometry::{Geometry, PhysAddr, Zone};
 pub use mech::MechModel;
 pub use sched::SchedPolicy;

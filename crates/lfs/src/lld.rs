@@ -20,7 +20,7 @@
 //! the paper's "LFS on VLD" configuration.
 
 use crate::seg::{
-    seg_to_slot, slot_device_block, slot_to_seg, summary_block, SegState, Summary, NONE,
+    fnv64, seg_to_slot, slot_device_block, slot_to_seg, summary_block, SegState, Summary, NONE,
     SEG_BLOCKS, SEG_DATA,
 };
 use disksim::{BlockDevice, DiskStats, Result as DiskResult, ServiceTime, SimClock};
@@ -29,6 +29,9 @@ use fscore::{FsError, FsResult};
 /// Segments kept back from the advertised capacity so the cleaner always
 /// has room to work.
 const RESERVE_SEGS: u64 = 4;
+
+/// Checkpoint magic ("LCKP").
+const CKPT_MAGIC: u32 = 0x4C43_4B50;
 
 /// Tuning knobs for the logical disk.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,6 +108,9 @@ pub struct LogDisk {
     /// segment (holding the overwrites/cleaner copies that killed them) is
     /// durable — otherwise a crash loses both copies.
     pending_free: Vec<u32>,
+    /// Which checkpoint slot the next sync writes (alternating A/B, so a
+    /// crash mid-checkpoint always leaves the other slot intact).
+    ckpt_next_b: bool,
     stats: CleanerStats,
 }
 
@@ -117,7 +123,9 @@ impl LogDisk {
             let logical = (nsegs.saturating_sub(RESERVE_SEGS)) * SEG_DATA;
             let ckpt_bytes = 24 + 4 * logical;
             let ckpt_blocks = ckpt_bytes.div_ceil(block_size as u64);
-            nsegs = (dev_blocks - ckpt_blocks) / SEG_BLOCKS;
+            // Two checkpoint slots (A/B): syncs alternate between them, so
+            // a power cut tearing one leaves the other valid.
+            nsegs = dev_blocks.saturating_sub(2 * ckpt_blocks) / SEG_BLOCKS;
         }
         if nsegs < RESERVE_SEGS + 2 {
             return Err(FsError::Invalid("device too small for a log"));
@@ -149,10 +157,30 @@ impl LogDisk {
             cleaning: false,
             flush_seq: 1,
             pending_free: Vec::new(),
+            ckpt_next_b: false,
             stats: CleanerStats::default(),
         };
         lld.write_checkpoint()?;
         Ok(lld)
+    }
+
+    /// Validate one checkpoint slot image; returns its flush sequence if
+    /// the magic, checksum and geometry all check out.
+    fn validate_checkpoint(raw: &[u8], logical: u64) -> Option<u64> {
+        if u32::from_le_bytes(raw[0..4].try_into().expect("slice of 4")) != CKPT_MAGIC {
+            return None;
+        }
+        let stored = u32::from_le_bytes(raw[4..8].try_into().expect("slice of 4"));
+        let h = fnv64(&[&raw[0..4], &[0u8; 4], &raw[8..]]);
+        if (h ^ (h >> 32)) as u32 != stored {
+            return None;
+        }
+        if u64::from_le_bytes(raw[8..16].try_into().expect("slice of 8")) != logical {
+            return None;
+        }
+        Some(u64::from_le_bytes(
+            raw[16..24].try_into().expect("slice of 8"),
+        ))
     }
 
     /// Mount an existing log from its checkpoint.
@@ -160,28 +188,53 @@ impl LogDisk {
         let block_size = dev.block_size();
         let (nsegs, logical, ckpt_start, ckpt_blocks) =
             Self::geometry(dev.num_blocks(), block_size)?;
-        // Read and validate the checkpoint.
-        let mut raw = vec![0u8; (ckpt_blocks as usize) * block_size];
-        dev.read_blocks(ckpt_start, &mut raw)?;
-        if u32::from_le_bytes(raw[0..4].try_into().expect("slice of 4")) != 0x4C43_4B50 {
-            return Err(FsError::Invalid("bad log checkpoint"));
+        // Read both checkpoint slots and take the newest valid one. A power
+        // cut tearing the slot being written leaves the other intact; if
+        // *both* are unreadable (corrupted media), fall back to a full
+        // summary scan — start from an empty map and let roll-forward
+        // re-apply every valid summary ever flushed.
+        let mut best: Option<(u64, bool, Vec<u8>)> = None;
+        for slot in 0..2u64 {
+            let mut raw = vec![0u8; (ckpt_blocks as usize) * block_size];
+            if dev
+                .read_blocks(ckpt_start + slot * ckpt_blocks, &mut raw)
+                .is_err()
+            {
+                continue;
+            }
+            if let Some(seq) = Self::validate_checkpoint(&raw, logical) {
+                if best.as_ref().is_none_or(|(s, _, _)| seq > *s) {
+                    best = Some((seq, slot == 1, raw));
+                }
+            }
         }
-        let n = u64::from_le_bytes(raw[8..16].try_into().expect("slice of 8"));
-        if n != logical {
-            return Err(FsError::Invalid("checkpoint geometry mismatch"));
-        }
-        let ckpt_flush_seq = u64::from_le_bytes(raw[16..24].try_into().expect("slice of 8"));
-        let mut map = Vec::with_capacity(logical as usize);
-        for i in 0..logical as usize {
-            let off = 24 + i * 4;
-            map.push(u32::from_le_bytes(
-                raw[off..off + 4].try_into().expect("slice of 4"),
-            ));
-        }
+        // The next checkpoint must not overwrite the copy we just trusted.
+        let ckpt_next_b = match &best {
+            Some((_, is_b, _)) => !*is_b,
+            None => false,
+        };
+        let (ckpt_flush_seq, mut map) = match best {
+            Some((seq, _, raw)) => {
+                let mut map = Vec::with_capacity(logical as usize);
+                for i in 0..logical as usize {
+                    let off = 24 + i * 4;
+                    map.push(u32::from_le_bytes(
+                        raw[off..off + 4].try_into().expect("slice of 4"),
+                    ));
+                }
+                (seq, map)
+            }
+            None => (0, vec![NONE; logical as usize]),
+        };
         // Roll forward: apply every segment summary flushed after the
         // checkpoint, in flush order. Blocks written since the last sync
         // (and flushed, partially or fully) come back; only the never-
         // flushed in-memory tail is lost — the same guarantee as LFS.
+        // Each candidate summary's data checksum is verified against the
+        // slots it covers: a flush torn by a power cut (summary landed,
+        // data didn't) fails the check and is discarded — safe, because
+        // sync only acknowledges after the checkpoint, so torn flushes
+        // hold exclusively unacknowledged state.
         let mut summaries: Vec<(u64, u32, Summary)> = Vec::new();
         let mut max_flush_seq = ckpt_flush_seq;
         for seg in 0..nsegs {
@@ -190,20 +243,53 @@ impl LogDisk {
             if let Ok(sum) = Summary::decode(&sbuf) {
                 max_flush_seq = max_flush_seq.max(sum.seq);
                 if sum.seq > ckpt_flush_seq {
-                    summaries.push((sum.seq, seg, sum));
+                    let mut data = vec![0u8; sum.fill as usize * block_size];
+                    if sum.fill > 0 {
+                        dev.read_blocks(summary_block(seg) + 1, &mut data)?;
+                    }
+                    if fnv64(&[&data]) == sum.data_csum {
+                        summaries.push((sum.seq, seg, sum));
+                    }
                 }
             }
         }
         summaries.sort_by_key(|(seq, _, _)| *seq);
+        // Working reverse map so stale mappings can be cleared as newer
+        // summaries supersede them.
+        let mut work_rmap = vec![NONE; (nsegs as u64 * SEG_DATA) as usize];
+        for (lb, &slot) in map.iter().enumerate() {
+            if slot != NONE && (slot as usize) < work_rmap.len() {
+                work_rmap[slot as usize] = lb as u32;
+            }
+        }
         for (_, seg, sum) in &summaries {
+            // A summary describes the segment's *complete* ownership as of
+            // its flush. Any older mapping into this segment (from a stale
+            // checkpoint, or an older summary now superseded by reuse) is
+            // dead — clear it first, or a trimmed-then-reused segment would
+            // leave a logical block aliased onto someone else's slot.
+            for idx in 0..SEG_DATA as u32 {
+                let slot = seg_to_slot(*seg, idx);
+                let old = work_rmap[slot as usize];
+                if old != NONE && map[old as usize] == slot as u32 {
+                    map[old as usize] = NONE;
+                }
+                work_rmap[slot as usize] = NONE;
+            }
             for idx in 0..sum.fill {
                 let owner = sum.owners[idx as usize];
                 if owner != NONE && (owner as u64) < logical {
-                    map[owner as usize] = seg_to_slot(*seg, idx) as u32;
+                    let slot = seg_to_slot(*seg, idx) as u32;
+                    let prev = map[owner as usize];
+                    if prev != NONE {
+                        work_rmap[prev as usize] = NONE;
+                    }
+                    map[owner as usize] = slot;
+                    work_rmap[slot as usize] = owner;
                 }
             }
         }
-        // Derive everything else from the map.
+        // Derive everything else from the (settled) map.
         let mut rmap = vec![NONE; (nsegs as u64 * SEG_DATA) as usize];
         let mut seg_live = vec![0u32; nsegs as usize];
         for (lb, &slot) in map.iter().enumerate() {
@@ -240,6 +326,7 @@ impl LogDisk {
             cleaning: false,
             flush_seq: max_flush_seq + 1,
             pending_free: Vec::new(),
+            ckpt_next_b,
             stats: CleanerStats::default(),
         })
     }
@@ -265,6 +352,19 @@ impl LogDisk {
     /// The raw device below the log.
     pub fn raw_device(&self) -> &dyn BlockDevice {
         self.dev.as_ref()
+    }
+
+    /// Snapshot of the logical-block → data-slot map (crash-test harnesses
+    /// compare these across recovery paths).
+    pub fn map_snapshot(&self) -> Vec<u32> {
+        self.map.clone()
+    }
+
+    /// The checkpoint region on the raw device: (first block, total blocks
+    /// covering both slots). Crash tests corrupt it to force the
+    /// summary-scan recovery path.
+    pub fn checkpoint_region(&self) -> (u64, u64) {
+        (self.ckpt_start, 2 * self.ckpt_blocks)
     }
 
     /// Simulate a crash: drop the in-memory log state (open segment, map)
@@ -366,9 +466,22 @@ impl LogDisk {
             self.rmap[old as usize] = NONE;
             let (seg, _) = slot_to_seg(old as u64);
             self.seg_live[seg as usize] -= 1;
-            // A sealed segment emptied by overwrites becomes free for reuse.
             if self.seg_live[seg as usize] == 0 && self.seg_state[seg as usize] == SegState::Dirty {
-                self.seg_state[seg as usize] = SegState::Free;
+                if self.cleaning {
+                    // Mid-clean, the emptied segment is the victim (or holds
+                    // data whose only durable copy the open segment hasn't
+                    // flushed yet): reusing it now would overwrite that copy,
+                    // and a torn flush would lose both versions. Park it
+                    // until the open segment is durable.
+                    if !self.pending_free.contains(&seg) {
+                        self.pending_free.push(seg);
+                    }
+                } else {
+                    // A sealed segment emptied by overwrites is safe to free:
+                    // the open segment holding the overwrites cannot itself
+                    // be recycled before it seals (and thus is durable).
+                    self.seg_state[seg as usize] = SegState::Free;
+                }
             }
         }
     }
@@ -381,6 +494,12 @@ impl LogDisk {
     /// The open segment's contents just reached the platter: everything it
     /// superseded is now safely dead, so parked segments become free.
     fn promote_pending_frees(&mut self) {
+        if self.cleaning {
+            // A victim still being copied out must not be promoted by a
+            // mid-clean seal; `clean_segment` promotes after its final
+            // flush instead.
+            return;
+        }
         for seg in self.pending_free.drain(..) {
             if self.seg_live[seg as usize] == 0 && self.seg_state[seg as usize] == SegState::Dirty {
                 self.seg_state[seg as usize] = SegState::Free;
@@ -398,6 +517,8 @@ impl LogDisk {
                 let open = self.open.as_mut().expect("checked above");
                 open.summary.seq = seq;
                 let fill = open.summary.fill;
+                open.summary.data_csum =
+                    fnv64(&[&open.data[..fill as usize * self.block_size]]);
                 let image: Vec<u8> = open
                     .summary
                     .encode(self.block_size)
@@ -419,6 +540,9 @@ impl LogDisk {
             return Ok(());
         };
         open.summary.seq = self.next_flush_seq();
+        open.summary.data_csum = fnv64(&[
+            &open.data[..open.summary.fill as usize * self.block_size]
+        ]);
         self.write_open_image(&open)?;
         self.promote_pending_frees();
         self.seg_state[open.seg as usize] = if self.seg_live[open.seg as usize] > 0 {
@@ -444,6 +568,11 @@ impl LogDisk {
         } else {
             let open = self.open.as_mut().expect("checked above");
             let fill = open.summary.fill;
+            open.summary.seq = self.flush_seq + 1;
+            self.flush_seq += 1;
+            let open = self.open.as_mut().expect("checked above");
+            open.summary.data_csum =
+                fnv64(&[&open.data[..fill as usize * self.block_size]]);
             // Write summary + filled slots in one command.
             let image: Vec<u8> = open
                 .summary
@@ -473,14 +602,26 @@ impl LogDisk {
 
     fn write_checkpoint(&mut self) -> FsResult<()> {
         let mut raw = vec![0u8; (self.ckpt_blocks as usize) * self.block_size];
-        raw[0..4].copy_from_slice(&0x4C43_4B50u32.to_le_bytes()); // "LCKP"
+        raw[0..4].copy_from_slice(&CKPT_MAGIC.to_le_bytes());
         raw[8..16].copy_from_slice(&self.logical_blocks.to_le_bytes());
         raw[16..24].copy_from_slice(&self.flush_seq.to_le_bytes());
         for (i, &slot) in self.map.iter().enumerate() {
             let off = 24 + i * 4;
             raw[off..off + 4].copy_from_slice(&slot.to_le_bytes());
         }
-        self.dev.write_blocks(self.ckpt_start, &raw)?;
+        // Checksum (folded FNV over the image with the csum field zeroed),
+        // so mount can reject a checkpoint torn by a power cut.
+        let h = fnv64(&[&raw[0..4], &[0u8; 4], &raw[8..]]);
+        raw[4..8].copy_from_slice(&((h ^ (h >> 32)) as u32).to_le_bytes());
+        let slot_start = if self.ckpt_next_b {
+            self.ckpt_start + self.ckpt_blocks
+        } else {
+            self.ckpt_start
+        };
+        self.dev.write_blocks(slot_start, &raw)?;
+        // Only alternate once the write completed: a failed/torn write
+        // leaves the other (older but valid) slot as the fallback.
+        self.ckpt_next_b = !self.ckpt_next_b;
         Ok(())
     }
 
@@ -648,6 +789,10 @@ impl BlockDevice for LogDisk {
 
     fn disk_stats(&self) -> DiskStats {
         self.dev.disk_stats()
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
     }
 }
 
@@ -958,6 +1103,123 @@ mod tests {
             let mut r = vec![0u8; 4096];
             l2.read_block(i, &mut r).unwrap();
             assert!(r.iter().all(|&b| b == i as u8), "block {i}");
+        }
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_other_slot() {
+        let mut l = lld();
+        for i in 0..200u64 {
+            l.write_block(i, &vec![i as u8; 4096]).unwrap();
+        }
+        l.sync().unwrap();
+        let (ckpt_start, ckpt_total) = l.checkpoint_region();
+        let ckpt_blocks = ckpt_total / 2;
+        // Format wrote slot A, the sync wrote slot B: tear slot B's header
+        // (as a power cut mid-checkpoint would) and remount.
+        let mut dev = l.crash();
+        dev.write_block(ckpt_start + ckpt_blocks, &vec![0xEEu8; 4096])
+            .unwrap();
+        let mut l2 = LogDisk::mount(dev, LldConfig::default()).unwrap();
+        // Slot A (from format) plus summary roll-forward recovers all the
+        // sealed/flushed data.
+        for i in 0..SEG_DATA {
+            let mut r = vec![0u8; 4096];
+            l2.read_block(i, &mut r).unwrap();
+            assert!(r.iter().all(|&b| b == i as u8), "block {i}");
+        }
+    }
+
+    #[test]
+    fn both_checkpoints_corrupt_scan_fallback_recovers() {
+        let mut l = lld();
+        let n = 2 * SEG_DATA; // two sealed segments
+        for i in 0..n {
+            l.write_block(i, &vec![(i % 251) as u8; 4096]).unwrap();
+        }
+        l.sync().unwrap();
+        let (ckpt_start, ckpt_total) = l.checkpoint_region();
+        let ckpt_blocks = ckpt_total / 2;
+        let mut dev = l.crash();
+        dev.write_block(ckpt_start, &vec![0xEEu8; 4096]).unwrap();
+        dev.write_block(ckpt_start + ckpt_blocks, &vec![0xEEu8; 4096])
+            .unwrap();
+        let mut l2 = LogDisk::mount(dev, LldConfig::default()).unwrap();
+        for i in 0..n {
+            let mut r = vec![0u8; 4096];
+            l2.read_block(i, &mut r).unwrap();
+            assert!(r.iter().all(|&b| b == (i % 251) as u8), "block {i}");
+        }
+    }
+
+    #[test]
+    fn torn_segment_flush_is_discarded_on_mount() {
+        // Seal one segment (durable), then hand-craft a "torn flush" of a
+        // second: its summary lands but the data blocks do not. Mount must
+        // keep the sealed segment and discard the torn one.
+        let mut l = lld();
+        for i in 0..SEG_DATA {
+            l.write_block(i, &vec![3u8; 4096]).unwrap();
+        }
+        let mut torn = Summary::empty();
+        torn.fill = 4;
+        for idx in 0..4u32 {
+            torn.owners[idx as usize] = (SEG_DATA + idx as u64) as u32;
+        }
+        torn.seq = 99;
+        torn.data_csum = 0x1234_5678; // data never written: csum can't match
+        let img = torn.encode(4096);
+        let mut dev = l.crash();
+        dev.write_block(summary_block(1), &img).unwrap();
+        let mut l2 = LogDisk::mount(dev, LldConfig::default()).unwrap();
+        let mut r = vec![0u8; 4096];
+        l2.read_block(0, &mut r).unwrap();
+        assert!(r.iter().all(|&b| b == 3), "sealed segment lost");
+        l2.read_block(SEG_DATA + 1, &mut r).unwrap();
+        assert!(
+            r.iter().all(|&b| b == 0),
+            "torn segment's blocks must not surface"
+        );
+    }
+
+    #[test]
+    fn scan_fallback_does_not_alias_trimmed_blocks() {
+        // Trim a whole segment's worth of blocks, force the emptied segment
+        // to be reused by new data, then corrupt both checkpoints and
+        // remount via the scan path. The stale pre-trim mappings must not
+        // alias onto the reused segment's new contents.
+        let mut l = lld();
+        for i in 0..SEG_DATA {
+            l.write_block(i, &vec![1u8; 4096]).unwrap();
+        }
+        l.sync().unwrap(); // checkpoint maps 0..SEG_DATA into segment 0
+        for i in 0..SEG_DATA {
+            l.trim(i).unwrap();
+        }
+        // Steer the allocator back to the emptied segment and seal a fresh
+        // generation of data into it.
+        assert_eq!(l.seg_state[0], SegState::Free, "trim must free segment 0");
+        l.next_seg = 0;
+        let hi = l.num_blocks() - SEG_DATA;
+        for i in 0..SEG_DATA {
+            l.write_block(hi + i, &vec![10u8; 4096]).unwrap();
+        }
+        assert_eq!(l.seg_state[0], SegState::Dirty, "segment 0 never reused");
+        assert!(l.seg_live[0] > 0);
+        let (ckpt_start, ckpt_total) = l.checkpoint_region();
+        let ckpt_blocks = ckpt_total / 2;
+        let mut dev = l.crash();
+        dev.write_block(ckpt_start, &vec![0xEEu8; 4096]).unwrap();
+        dev.write_block(ckpt_start + ckpt_blocks, &vec![0xEEu8; 4096])
+            .unwrap();
+        let mut l2 = LogDisk::mount(dev, LldConfig::default()).unwrap();
+        for i in 0..SEG_DATA {
+            let mut r = vec![7u8; 4096];
+            l2.read_block(i, &mut r).unwrap();
+            assert!(
+                r.iter().all(|&b| b == 0),
+                "trimmed block {i} aliased onto reused segment data"
+            );
         }
     }
 

@@ -16,6 +16,25 @@ pub const NONE: u32 = u32::MAX;
 /// Summary magic ("LSEG").
 pub const SUMMARY_MAGIC: u32 = 0x4C53_4547;
 
+/// Byte length of the checksummed summary header: magic, fill, seq, owner
+/// table and data checksum.
+const HEAD_BYTES: usize = 16 + SEG_DATA as usize * 4 + 8;
+
+/// FNV-1a, the checksum protecting summaries and checkpoints. A crash can
+/// tear the multi-block segment flush (summary first, data after); the
+/// checksums let mount detect and discard such segments instead of
+/// replaying garbage.
+pub fn fnv64(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Per-segment bookkeeping state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SegState {
@@ -38,6 +57,11 @@ pub struct Summary {
     /// flush or seal) gets a fresh value, so mount-time roll-forward can
     /// order segments and skip ones older than the checkpoint.
     pub seq: u64,
+    /// Checksum over the `fill` data blocks flushed with this summary.
+    /// Roll-forward verifies it before trusting the segment: if the crash
+    /// tore the flush after the summary block but before (all of) the data
+    /// landed, the mismatch exposes it.
+    pub data_csum: u64,
 }
 
 impl Summary {
@@ -47,10 +71,13 @@ impl Summary {
             owners: vec![NONE; SEG_DATA as usize],
             fill: 0,
             seq: 0,
+            data_csum: 0,
         }
     }
 
-    /// Serialise into a block image of `block_size` bytes.
+    /// Serialise into a block image of `block_size` bytes. The header is
+    /// sealed with its own checksum so a torn summary write (partial
+    /// sectors of the summary block itself) is detectable.
     pub fn encode(&self, block_size: usize) -> Vec<u8> {
         let mut b = vec![0u8; block_size];
         b[0..4].copy_from_slice(&SUMMARY_MAGIC.to_le_bytes());
@@ -60,16 +87,28 @@ impl Summary {
             let off = 16 + i * 4;
             b[off..off + 4].copy_from_slice(&o.to_le_bytes());
         }
+        let data_off = 16 + SEG_DATA as usize * 4;
+        b[data_off..data_off + 8].copy_from_slice(&self.data_csum.to_le_bytes());
+        let head_csum = fnv64(&[&b[..HEAD_BYTES]]);
+        b[HEAD_BYTES..HEAD_BYTES + 8].copy_from_slice(&head_csum.to_le_bytes());
         b
     }
 
-    /// Decode a summary block.
+    /// Decode a summary block, verifying the header checksum.
     pub fn decode(buf: &[u8]) -> FsResult<Summary> {
-        if buf.len() < 16 + SEG_DATA as usize * 4 {
+        if buf.len() < HEAD_BYTES + 8 {
             return Err(FsError::Invalid("summary block too small"));
         }
         if u32::from_le_bytes(buf[0..4].try_into().expect("slice of 4")) != SUMMARY_MAGIC {
             return Err(FsError::Invalid("bad segment summary magic"));
+        }
+        let stored = u64::from_le_bytes(
+            buf[HEAD_BYTES..HEAD_BYTES + 8]
+                .try_into()
+                .expect("slice of 8"),
+        );
+        if fnv64(&[&buf[..HEAD_BYTES]]) != stored {
+            return Err(FsError::Invalid("segment summary checksum mismatch"));
         }
         let fill = u32::from_le_bytes(buf[4..8].try_into().expect("slice of 4"));
         if fill > SEG_DATA as u32 {
@@ -83,7 +122,18 @@ impl Summary {
                 buf[off..off + 4].try_into().expect("slice of 4"),
             ));
         }
-        Ok(Summary { owners, fill, seq })
+        let data_off = 16 + SEG_DATA as usize * 4;
+        let data_csum = u64::from_le_bytes(
+            buf[data_off..data_off + 8]
+                .try_into()
+                .expect("slice of 8"),
+        );
+        Ok(Summary {
+            owners,
+            fill,
+            seq,
+            data_csum,
+        })
     }
 }
 
@@ -123,8 +173,16 @@ mod tests {
         s.owners[126] = 99;
         s.fill = 2;
         s.seq = 77;
+        s.data_csum = 0xDEAD_BEEF_F00D;
         let img = s.encode(4096);
         assert_eq!(Summary::decode(&img).unwrap(), s);
+    }
+
+    #[test]
+    fn tampered_summary_header_rejected() {
+        let mut img = Summary::empty().encode(4096);
+        img[20] ^= 0x01; // flip one owner bit
+        assert!(Summary::decode(&img).is_err(), "checksum must catch tamper");
     }
 
     #[test]

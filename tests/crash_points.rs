@@ -1,0 +1,56 @@
+//! Crash-point exploration across the paper's three stacks (Figure 5):
+//! UFS on a regular disk, UFS on the virtual-log disk, and the UFS file
+//! layer on the log-structured logical disk.
+//!
+//! The tier-1 tests sweep *every* crash point of the small mixed workload
+//! exhaustively, with torn-write variants on the raw-disk stacks and the
+//! recovery-path convergence checks enabled. The `#[ignore]`d tests run
+//! the larger churn workload under seeded sampling — same invariants, more
+//! state (name reuse, on-demand cleaning, bigger files).
+
+use crashtest::{run_sweep, StackKind, SweepConfig, Workload};
+
+#[test]
+fn exhaustive_crash_sweep_ufs_regular() {
+    let rep = run_sweep(&SweepConfig::exhaustive(StackKind::UfsRegular));
+    assert!(rep.points_run as u64 > rep.total_ops, "torn variants missing");
+    rep.assert_clean();
+}
+
+#[test]
+fn exhaustive_crash_sweep_ufs_vld() {
+    let rep = run_sweep(&SweepConfig::exhaustive(StackKind::UfsVld));
+    assert!(rep.total_ops > 0);
+    rep.assert_clean();
+}
+
+#[test]
+fn exhaustive_crash_sweep_ufs_lfs() {
+    let rep = run_sweep(&SweepConfig::exhaustive(StackKind::UfsLfs));
+    assert!(rep.frontier_ops.len() == 3);
+    rep.assert_clean();
+}
+
+fn churn_cfg(kind: StackKind, points: usize, seed: u64) -> SweepConfig {
+    let mut cfg = SweepConfig::sampled(kind, points, seed);
+    cfg.workload = Workload::churn(24);
+    cfg
+}
+
+#[test]
+#[ignore = "large sampled sweep; run explicitly"]
+fn sampled_churn_sweep_ufs_regular() {
+    run_sweep(&churn_cfg(StackKind::UfsRegular, 48, 0x5eed_0001)).assert_clean();
+}
+
+#[test]
+#[ignore = "large sampled sweep; run explicitly"]
+fn sampled_churn_sweep_ufs_vld() {
+    run_sweep(&churn_cfg(StackKind::UfsVld, 48, 0x5eed_0002)).assert_clean();
+}
+
+#[test]
+#[ignore = "large sampled sweep; run explicitly"]
+fn sampled_churn_sweep_ufs_lfs() {
+    run_sweep(&churn_cfg(StackKind::UfsLfs, 48, 0x5eed_0003)).assert_clean();
+}

@@ -1,0 +1,75 @@
+//! Determinism of the fault layer: the same seed/plan against the same
+//! workload must leave a byte-identical post-crash disk image, whatever
+//! the cut point, torn-sector count, or stack. This is the property the
+//! whole crash-point exploration harness rests on — if it ever breaks,
+//! crash points stop being reproducible coordinates.
+
+use proptest::prelude::*;
+
+use crashtest::{apply, build, teardown, StackKind, Workload};
+use vlfs::disksim::{FaultPlan, WriteFault};
+
+/// Run the standard workload to the crash (or the end) and serialize the
+/// surviving media.
+fn image_after(kind: StackKind, plan: &FaultPlan) -> Vec<u8> {
+    let w = Workload::small_mixed();
+    let mut fs = build(kind, plan.clone()).expect("format under plan");
+    let _ = apply(&mut fs, &w.ops); // a power cut aborts the script mid-way
+    let st = teardown(kind, fs);
+    let mut img = Vec::new();
+    st.disk.save_image(&mut img).expect("image serializes");
+    img
+}
+
+/// Device writes the format itself performs, per stack — cut points are
+/// offset past this so `build` always succeeds.
+fn format_ops(kind: StackKind) -> u64 {
+    let fs = build(kind, FaultPlan::none()).expect("format");
+    teardown(kind, fs).ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Torn power cuts on the raw-disk stacks: identical plan, identical
+    /// image, twice over.
+    #[test]
+    fn torn_cut_images_are_reproducible(cut in 1u64..50, survivors in 0u32..8) {
+        for kind in [StackKind::UfsRegular, StackKind::UfsLfs] {
+            let plan = FaultPlan::torn_power_cut(format_ops(kind) + cut, survivors);
+            prop_assert_eq!(
+                image_after(kind, &plan),
+                image_after(kind, &plan),
+                "{:?}: same plan, different image",
+                kind
+            );
+        }
+    }
+
+    /// Clean cuts at the VLD command boundary are just as reproducible.
+    #[test]
+    fn vld_cut_images_are_reproducible(cut in 0u64..50) {
+        let plan = FaultPlan::power_cut_after(format_ops(StackKind::UfsVld) + cut);
+        prop_assert_eq!(
+            image_after(StackKind::UfsVld, &plan),
+            image_after(StackKind::UfsVld, &plan)
+        );
+    }
+
+    /// Corruption faults derive their byte flips from the seed alone:
+    /// same seed twice = same image; different seeds diverge (the flip
+    /// really happened and really is seed-driven). Power is cut right
+    /// after the corrupt write so the corrupted state is what survives —
+    /// otherwise the workload's later writes can paper over it.
+    #[test]
+    fn corruption_is_seed_deterministic(op in 1u64..30, seed in any::<u64>()) {
+        let kind = StackKind::UfsRegular;
+        let target = format_ops(kind) + op;
+        let cut = WriteFault::PowerCut { survivors: 0 };
+        let plan = FaultPlan::corrupt_write(target, seed).with(target + 1, cut);
+        let a = image_after(kind, &plan);
+        prop_assert_eq!(&a, &image_after(kind, &plan));
+        let other = FaultPlan::corrupt_write(target, seed ^ 0x1234_5678).with(target + 1, cut);
+        prop_assert_ne!(&a, &image_after(kind, &other));
+    }
+}
