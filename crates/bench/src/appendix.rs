@@ -66,19 +66,20 @@ use vlog_models;
 pub fn run(trials: u32) -> String {
     let n = 256u64; // ST19101 track
     let logical = 8u64;
-    let mut rows = Vec::new();
-    for &p in &[0.2f64, 0.4, 0.6, 0.8] {
-        for &b in &[1u64, 2, 4, 8] {
-            let m = model(n, p, b, logical);
-            let s = simulate(n, p, b, logical, trials, 0xA1 ^ b ^ (p * 100.0) as u64);
-            rows.push(vec![
-                format!("{:.0}%", p * 100.0),
-                b.to_string(),
-                format!("{m:.2}"),
-                format!("{s:.2}"),
-            ]);
-        }
-    }
+    let points: Vec<(f64, u64)> = [0.2f64, 0.4, 0.6, 0.8]
+        .iter()
+        .flat_map(|&p| [1u64, 2, 4, 8].iter().map(move |&b| (p, b)))
+        .collect();
+    let rows = crate::par::pmap(points, |(p, b)| {
+        let m = model(n, p, b, logical);
+        let s = simulate(n, p, b, logical, trials, 0xA1 ^ b ^ (p * 100.0) as u64);
+        vec![
+            format!("{:.0}%", p * 100.0),
+            b.to_string(),
+            format!("{m:.2}"),
+            format!("{s:.2}"),
+        ]
+    });
     format_table(
         "Appendix A.1: sectors skipped placing a 4 KB logical block (model vs sim)",
         &["free %", "phys b", "model (9)", "sim"],

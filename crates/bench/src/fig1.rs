@@ -28,21 +28,20 @@ pub struct Point {
 /// Measure one disk across utilisations. `writes` sets the per-point
 /// sample count.
 pub fn series(spec: disksim::DiskSpec, writes: u32, seed: u64) -> Vec<Point> {
-    let mut out = Vec::new();
     let switch_sectors = convert::head_switch_sectors(&spec);
     let tracks = spec.geometry.tracks_per_cylinder();
-    for free_pct in (5..=95).step_by(5) {
+    let pcts: Vec<u64> = (5..=95).step_by(5).collect();
+    crate::par::pmap(pcts, |free_pct| {
         let p = free_pct as f64 / 100.0;
         let model_sectors = cylinder::expected_latency(p, switch_sectors, tracks);
         let model_ms = convert::sectors_to_ms(&spec, model_sectors);
-        let sim_ms = simulate_point(&spec, p, writes, seed ^ free_pct as u64);
-        out.push(Point {
+        let sim_ms = simulate_point(&spec, p, writes, seed ^ free_pct);
+        Point {
             free_pct: free_pct as f64,
             model_ms,
             sim_ms,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Simulated mean locate latency at free fraction `p`.

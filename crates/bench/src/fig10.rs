@@ -92,17 +92,22 @@ pub fn series(
 pub fn run(total_blocks: u64) -> String {
     let host = HostModel::sparcstation_10();
     let idles = [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 7.0];
-    let mut columns = Vec::new();
-    for &b in BURSTS_KB.iter() {
-        columns.push(series(b, &idles, total_blocks, host));
-    }
+    // Every (burst, idle) cell is an independent simulation (fresh system,
+    // fixed seeds), so fan the whole grid out at once.
+    let points: Vec<(u64, f64)> = BURSTS_KB
+        .iter()
+        .flat_map(|&b| idles.iter().map(move |&idle| (b, idle)))
+        .collect();
+    let cells = crate::par::pmap(points, |(b, idle)| {
+        series(b, &[idle], total_blocks, host)[0].1
+    });
     let rows: Vec<Vec<String>> = idles
         .iter()
         .enumerate()
         .map(|(i, idle)| {
             let mut row = vec![format!("{idle:.2}")];
-            for col in &columns {
-                row.push(format!("{:.2}", col[i].1));
+            for bi in 0..BURSTS_KB.len() {
+                row.push(format!("{:.2}", cells[bi * idles.len() + i]));
             }
             row
         })

@@ -56,17 +56,21 @@ pub fn series(
 pub fn run(total_blocks: u64) -> String {
     let host = HostModel::sparcstation_10();
     let idles = [0.0, 0.05, 0.1, 0.2, 0.3, 0.45, 0.6];
-    let mut columns = Vec::new();
-    for &b in BURSTS_KB.iter() {
-        columns.push(series(b, &idles, total_blocks, host));
-    }
+    // As in Figure 10: each (burst, idle) cell is self-contained.
+    let points: Vec<(u64, f64)> = BURSTS_KB
+        .iter()
+        .flat_map(|&b| idles.iter().map(move |&idle| (b, idle)))
+        .collect();
+    let cells = crate::par::pmap(points, |(b, idle)| {
+        series(b, &[idle], total_blocks, host)[0].1
+    });
     let rows: Vec<Vec<String>> = idles
         .iter()
         .enumerate()
         .map(|(i, idle)| {
             let mut row = vec![format!("{idle:.2}")];
-            for col in &columns {
-                row.push(format!("{:.3}", col[i].1));
+            for bi in 0..BURSTS_KB.len() {
+                row.push(format!("{:.3}", cells[bi * idles.len() + i]));
             }
             row
         })

@@ -84,22 +84,21 @@ fn simulate_point(spec: &DiskSpec, m: u64, tracks_sampled: u32) -> f64 {
 pub fn series(spec: DiskSpec, tracks_sampled: u32) -> Vec<Point> {
     let spt = spec.geometry.sectors_per_track(0).expect("cyl 0") as u64;
     let sector_ns = spec.mech.sector_ns(spt as u32);
-    let mut out = Vec::new();
-    for pct in (5..=90).step_by(5) {
+    let pcts: Vec<u64> = (5..=90)
+        .step_by(5)
+        .filter(|&pct| compactor::threshold_to_m(spt, pct as f64) < spt)
+        .collect();
+    crate::par::pmap(pcts, |pct| {
         let m = compactor::threshold_to_m(spt, pct as f64);
-        if m >= spt {
-            continue;
-        }
         let model_ms =
             compactor::avg_latency_model_ns(spt, m, spec.mech.head_switch_ns, sector_ns) / 1e6;
         let sim_ms = simulate_point(&spec, m, tracks_sampled);
-        out.push(Point {
+        Point {
             threshold_pct: pct as f64,
             model_ms,
             sim_ms,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Regenerate Figure 2.

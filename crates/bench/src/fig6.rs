@@ -75,16 +75,13 @@ pub fn run(files: u32) -> String {
         (FsKind::Lfs, DevKind::Regular),
         (FsKind::Lfs, DevKind::Vld),
     ];
-    let results: Vec<(String, SmallFileResult)> = combos
-        .iter()
-        .map(|&(f, d)| {
-            (
-                combo_label(f, d),
-                measure(f, d, DiskKind::Seagate, files, host)
-                    .unwrap_or_else(|e| panic!("{}: {e}", combo_label(f, d))),
-            )
-        })
-        .collect();
+    let results: Vec<(String, SmallFileResult)> = crate::par::pmap(combos.to_vec(), |(f, d)| {
+        (
+            combo_label(f, d),
+            measure(f, d, DiskKind::Seagate, files, host)
+                .unwrap_or_else(|e| panic!("{}: {e}", combo_label(f, d))),
+        )
+    });
     let base = results[0].1;
     let rows: Vec<Vec<String>> = results
         .iter()

@@ -131,9 +131,8 @@ pub fn run(mb: u64) -> String {
         (FsKind::Lfs, DevKind::Regular),
         (FsKind::Lfs, DevKind::Vld),
     ];
-    let rows: Vec<Vec<String>> = combos
-        .iter()
-        .map(|&(fk, dk)| {
+    let rows: Vec<Vec<String>> = crate::par::pmap(combos.to_vec(), |(fk, dk)| {
+        {
             let r = measure(fk, dk, DiskKind::Seagate, mb, host)
                 .unwrap_or_else(|e| panic!("{}: {e}", combo_label(fk, dk)));
             vec![
@@ -149,8 +148,8 @@ pub fn run(mb: u64) -> String {
                 format!("{:.2}", r.seq_read_again),
                 format!("{:.2}", r.rand_read),
             ]
-        })
-        .collect();
+        }
+    });
     format_table(
         &format!("Figure 7: large-file bandwidth (MB/s), {mb} MB file"),
         &[

@@ -94,17 +94,25 @@ pub fn run(updates: u64) -> String {
     let host = HostModel::sparcstation_10();
     let fracs = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
     let systems = [System::UfsRegular, System::UfsVld, System::LfsNvram];
-    let mut rows = Vec::new();
-    for &frac in &fracs {
-        let mut row = vec![format!("{:.0}%", frac * 100.0)];
-        for &sys in &systems {
-            match measure_point(sys, DiskKind::Seagate, frac, updates, host) {
-                Ok(p) => row.push(format!("{:.0}%:{:.2}", p.util_pct, p.latency_ms)),
-                Err(e) => row.push(format!("err:{e}")),
-            }
+    let points: Vec<(f64, System)> = fracs
+        .iter()
+        .flat_map(|&frac| systems.iter().map(move |&sys| (frac, sys)))
+        .collect();
+    let cells = crate::par::pmap(points, |(frac, sys)| {
+        match measure_point(sys, DiskKind::Seagate, frac, updates, host) {
+            Ok(p) => format!("{:.0}%:{:.2}", p.util_pct, p.latency_ms),
+            Err(e) => format!("err:{e}"),
         }
-        rows.push(row);
-    }
+    });
+    let rows: Vec<Vec<String>> = fracs
+        .iter()
+        .zip(cells.chunks(systems.len()))
+        .map(|(frac, row_cells)| {
+            std::iter::once(format!("{:.0}%", frac * 100.0))
+                .chain(row_cells.iter().cloned())
+                .collect()
+        })
+        .collect();
     format_table(
         "Figure 8: random 4 KB sync-update latency (util%:ms) vs file size",
         &["file frac", "UFS/Regular", "UFS/VLD", "LFS+NVRAM"],

@@ -119,23 +119,28 @@ pub fn platforms() -> Vec<(&'static str, DiskKind, HostModel)> {
 
 /// Regenerate Figure 9.
 pub fn run(updates: u64) -> String {
-    let mut rows = Vec::new();
-    for (name, disk, host) in platforms() {
-        for dev in [DevKind::Regular, DevKind::Vld] {
-            let b = measure(dev, disk, host, updates)
-                .unwrap_or_else(|e| panic!("{name}/{}: {e}", dev.label()));
-            let total = b.total_ms();
-            let pct = |x: f64| format!("{:.0}%", x / total * 100.0);
-            rows.push(vec![
-                format!("{name} {}", dev.label()),
-                format!("{total:.2}"),
-                pct(b.overhead_ms),
-                pct(b.transfer_ms),
-                pct(b.locate_ms),
-                pct(b.other_ms),
-            ]);
-        }
-    }
+    let points: Vec<(&'static str, DiskKind, HostModel, DevKind)> = platforms()
+        .into_iter()
+        .flat_map(|(name, disk, host)| {
+            [DevKind::Regular, DevKind::Vld]
+                .into_iter()
+                .map(move |dev| (name, disk, host, dev))
+        })
+        .collect();
+    let rows = crate::par::pmap(points, |(name, disk, host, dev)| {
+        let b = measure(dev, disk, host, updates)
+            .unwrap_or_else(|e| panic!("{name}/{}: {e}", dev.label()));
+        let total = b.total_ms();
+        let pct = |x: f64| format!("{:.0}%", x / total * 100.0);
+        vec![
+            format!("{name} {}", dev.label()),
+            format!("{total:.2}"),
+            pct(b.overhead_ms),
+            pct(b.transfer_ms),
+            pct(b.locate_ms),
+            pct(b.other_ms),
+        ]
+    });
     format_table(
         "Figure 9: latency breakdown of 4 KB sync updates at 80% utilisation",
         &[

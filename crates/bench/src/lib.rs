@@ -27,7 +27,9 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod par;
 pub mod setup;
+pub mod timing;
 pub mod table1;
 pub mod table2;
 pub mod vlfs_preview;

@@ -8,15 +8,24 @@ use crate::setup::DevKind;
 
 /// Speedups per platform: (name, UFS/regular ms, UFS/VLD ms, speedup).
 pub fn speedups(updates: u64) -> Vec<(&'static str, f64, f64, f64)> {
+    let points: Vec<_> = platforms()
+        .into_iter()
+        .flat_map(|(name, disk, host)| {
+            [DevKind::Regular, DevKind::Vld]
+                .into_iter()
+                .map(move |dev| (name, disk, host, dev))
+        })
+        .collect();
+    let totals = crate::par::pmap(points, |(name, disk, host, dev)| {
+        measure(dev, disk, host, updates)
+            .unwrap_or_else(|e| panic!("{name} {}: {e}", dev.label()))
+            .total_ms()
+    });
     platforms()
         .into_iter()
-        .map(|(name, disk, host)| {
-            let reg = measure(DevKind::Regular, disk, host, updates)
-                .unwrap_or_else(|e| panic!("{name} regular: {e}"))
-                .total_ms();
-            let vld = measure(DevKind::Vld, disk, host, updates)
-                .unwrap_or_else(|e| panic!("{name} vld: {e}"))
-                .total_ms();
+        .enumerate()
+        .map(|(i, (name, _, _))| {
+            let (reg, vld) = (totals[2 * i], totals[2 * i + 1]);
             (name, reg, vld, reg / vld)
         })
         .collect()

@@ -122,18 +122,25 @@ fn lfs_sync_ms(frac: f64, updates: u64, host: HostModel) -> f64 {
 /// Run the comparison at a few utilisations.
 pub fn run(updates: u64) -> String {
     let host = HostModel::sparcstation_10();
-    let mut rows = Vec::new();
-    for frac in [0.3f64, 0.6] {
-        let ufs = ufs_on_vld_ms(frac, updates, host);
-        let vlfs = vlfs_ms(frac, updates, host);
-        let lfs = lfs_sync_ms(frac, updates / 2, host);
-        rows.push(vec![
-            format!("{:.0}%", frac * 100.0),
-            format!("{ufs:.2}"),
-            format!("{vlfs:.2}"),
-            format!("{lfs:.2}"),
-        ]);
-    }
+    let fracs = [0.3f64, 0.6];
+    let points: Vec<(f64, u8)> = fracs
+        .iter()
+        .flat_map(|&frac| (0u8..3).map(move |sys| (frac, sys)))
+        .collect();
+    let cells = crate::par::pmap(points, |(frac, sys)| match sys {
+        0 => ufs_on_vld_ms(frac, updates, host),
+        1 => vlfs_ms(frac, updates, host),
+        _ => lfs_sync_ms(frac, updates / 2, host),
+    });
+    let rows: Vec<Vec<String>> = fracs
+        .iter()
+        .zip(cells.chunks(3))
+        .map(|(frac, ms)| {
+            std::iter::once(format!("{:.0}%", frac * 100.0))
+                .chain(ms.iter().map(|v| format!("{v:.2}")))
+                .collect()
+        })
+        .collect();
     format_table(
         "VLFS (§3.3, implemented) vs the paper's proxies: random sync 4 KB updates (ms)",
         &["file frac", "UFS on VLD", "VLFS layer", "LFS + fsync"],

@@ -119,7 +119,7 @@ impl EagerAllocator {
         // still has room for an aligned slot.
         if let Some((c, t)) = self.fill_track {
             if free.track_utilization(c, t) < self.cfg.threshold {
-                if let Some(cand) = self.best_in_track(disk, free, c, t, align) {
+                if let Some(cand) = self.best_in_track(disk, free, c, t, align, u64::MAX) {
                     return Some(cand);
                 }
             }
@@ -132,11 +132,17 @@ impl EagerAllocator {
             return None;
         }
         self.fill_track = Some(next);
-        self.best_in_track(disk, free, next.0, next.1, align)
+        self.best_in_track(disk, free, next.0, next.1, align, u64::MAX)
     }
 
     /// Cheapest candidate on one track: the first free (aligned) slot in
     /// rotational encounter order from the head's arrival position.
+    ///
+    /// `incumbent_ns` is the cost of the best candidate found so far: every
+    /// sector here costs at least the seek/head-switch to reach the track,
+    /// so when that lower bound already matches or exceeds the incumbent the
+    /// track is discarded without scanning it or pricing anything exactly.
+    /// (Ties keep the incumbent, matching `min_by_key`'s first-wins rule.)
     fn best_in_track(
         &self,
         disk: &Disk,
@@ -144,16 +150,16 @@ impl EagerAllocator {
         cyl: u32,
         track: u32,
         align: u32,
+        incumbent_ns: u64,
     ) -> Option<Candidate> {
         if self.avoid == Some((cyl, track)) {
             return None;
         }
+        if disk.reposition_lower_bound_ns(cyl, track) >= incumbent_ns {
+            return None;
+        }
         let arrival = disk.arrival_sector(cyl, track).ok()?;
-        let sector = if align == 1 {
-            free.free_sectors_from(cyl, track, arrival).next()?
-        } else {
-            free.free_aligned_from(cyl, track, arrival, align)?
-        };
+        let sector = free.first_aligned_from(cyl, track, arrival, align)?;
         let cost = disk.position_cost(cyl, track, sector).ok()?;
         Some(Candidate {
             cyl,
@@ -163,18 +169,36 @@ impl EagerAllocator {
         })
     }
 
-    /// Cheapest candidate within one cylinder (all tracks considered).
+    /// Cheapest candidate within one cylinder (all tracks considered),
+    /// keeping only candidates strictly cheaper than `incumbent_ns`. The
+    /// per-cylinder summary counts reject cylinders with no usable space in
+    /// O(1), and the running best feeds the per-track lower-bound prune.
     fn best_in_cylinder(
         &self,
         disk: &Disk,
         free: &FreeMap,
         cyl: u32,
         align: u32,
+        incumbent_ns: u64,
     ) -> Option<Candidate> {
+        if !free.cylinder_has_candidate(cyl, align) {
+            return None;
+        }
         let tracks = free.tracks_in_cylinder();
-        (0..tracks)
-            .filter_map(|t| self.best_in_track(disk, free, cyl, t, align))
-            .min_by_key(|c| c.cost.total_ns())
+        let mut best: Option<Candidate> = None;
+        let mut bound = incumbent_ns;
+        for t in 0..tracks {
+            if let Some(c) = self.best_in_track(disk, free, cyl, t, align, bound) {
+                // The prune used a lower bound; the exact cost can still
+                // lose to the incumbent. Replace only on strict improvement
+                // (first-wins on ties, like the unpruned `min_by_key`).
+                if c.cost.total_ns() < bound {
+                    bound = c.cost.total_ns();
+                    best = Some(c);
+                }
+            }
+        }
+        best
     }
 
     /// Greedy search: current cylinder first, then widening. One-way mode
@@ -187,7 +211,7 @@ impl EagerAllocator {
         if self.cfg.one_way_sweep {
             for w in 0..cyls {
                 let c = (cur + w) % cyls;
-                if let Some(cand) = self.best_in_cylinder(disk, free, c, align) {
+                if let Some(cand) = self.best_in_cylinder(disk, free, c, align, u64::MAX) {
                     return Some(cand);
                 }
             }
@@ -197,7 +221,7 @@ impl EagerAllocator {
             for d in 0..cyls {
                 if let Some(b) = &best {
                     // Any candidate at distance >= d costs at least seek(d).
-                    if b.cost.total_ns() < disk.spec().mech.seek_ns(d) {
+                    if b.cost.total_ns() < disk.seek_ns(d) {
                         break;
                     }
                 }
@@ -205,13 +229,9 @@ impl EagerAllocator {
                     .into_iter()
                     .flatten()
                 {
-                    if let Some(cand) = self.best_in_cylinder(disk, free, c, align) {
-                        if best.is_none()
-                            || cand.cost.total_ns()
-                                < best.as_ref().map(|b| b.cost.total_ns()).unwrap_or(u64::MAX)
-                        {
-                            best = Some(cand);
-                        }
+                    let bound = best.as_ref().map(|b| b.cost.total_ns()).unwrap_or(u64::MAX);
+                    if let Some(cand) = self.best_in_cylinder(disk, free, c, align, bound) {
+                        best = Some(cand);
                     }
                     if d == 0 {
                         break;
@@ -232,6 +252,107 @@ impl EagerAllocator {
     /// one in hand. The compactor avoids choosing it as a victim.
     pub fn fill_track(&self) -> Option<(u32, u32)> {
         self.fill_track
+    }
+}
+
+/// The pre-index exhaustive greedy search, retained as the oracle the
+/// pruned fast path is verified against: it prices every reachable free
+/// slot with the exact mechanical model and never consults the summary
+/// counts, lower bounds or word-level scans. Equivalence tests (and the
+/// microbenchmarks' before/after comparison) call these directly.
+pub mod reference {
+    use super::Candidate;
+    use crate::freemap::FreeMap;
+    use disksim::Disk;
+
+    /// Naive per-track candidate: linear free-list scan plus an exact
+    /// `position_cost` for the first slot in rotational encounter order.
+    pub fn best_in_track(
+        disk: &Disk,
+        free: &FreeMap,
+        avoid: Option<(u32, u32)>,
+        cyl: u32,
+        track: u32,
+        align: u32,
+    ) -> Option<Candidate> {
+        if avoid == Some((cyl, track)) {
+            return None;
+        }
+        let arrival = disk.arrival_sector(cyl, track).ok()?;
+        let sector = if align == 1 {
+            free.free_sectors_from(cyl, track, arrival).next()?
+        } else {
+            free.free_aligned_from(cyl, track, arrival, align)?
+        };
+        let cost = disk.position_cost(cyl, track, sector).ok()?;
+        Some(Candidate {
+            cyl,
+            track,
+            sector,
+            cost,
+        })
+    }
+
+    /// Naive per-cylinder candidate: price every track, take the min.
+    pub fn best_in_cylinder(
+        disk: &Disk,
+        free: &FreeMap,
+        avoid: Option<(u32, u32)>,
+        cyl: u32,
+        align: u32,
+    ) -> Option<Candidate> {
+        let tracks = free.tracks_in_cylinder();
+        (0..tracks)
+            .filter_map(|t| best_in_track(disk, free, avoid, cyl, t, align))
+            .min_by_key(|c| c.cost.total_ns())
+    }
+
+    /// Naive greedy search, both sweep modes, exactly as the allocator
+    /// behaved before the hierarchical index and cost pruning landed.
+    pub fn greedy(
+        disk: &Disk,
+        free: &FreeMap,
+        avoid: Option<(u32, u32)>,
+        align: u32,
+        one_way_sweep: bool,
+    ) -> Option<Candidate> {
+        let cyls = free.cylinders();
+        let cur = disk.head().cyl;
+        if one_way_sweep {
+            for w in 0..cyls {
+                let c = (cur + w) % cyls;
+                if let Some(cand) = best_in_cylinder(disk, free, avoid, c, align) {
+                    return Some(cand);
+                }
+            }
+            None
+        } else {
+            let mut best: Option<Candidate> = None;
+            for d in 0..cyls {
+                if let Some(b) = &best {
+                    if b.cost.total_ns() < disk.spec().mech.seek_ns(d) {
+                        break;
+                    }
+                }
+                for c in [cur.checked_sub(d), (cur + d < cyls).then_some(cur + d)]
+                    .into_iter()
+                    .flatten()
+                {
+                    if let Some(cand) = best_in_cylinder(disk, free, avoid, c, align) {
+                        if best.is_none()
+                            || cand.cost.total_ns()
+                                < best.as_ref().map(|b| b.cost.total_ns()).unwrap_or(u64::MAX)
+                        {
+                            best = Some(cand);
+                        }
+                    }
+                    if d == 0 {
+                        break;
+                    }
+                }
+            }
+            best
+        }
     }
 }
 
@@ -378,6 +499,82 @@ mod tests {
         let mut a = EagerAllocator::new(AllocConfig::default());
         let c = a.find_block(&disk, &free).unwrap();
         assert!(free.run_free(c.cyl, c.track, c.sector, 8));
+    }
+
+    /// The tentpole's safety net: across random fill patterns, head
+    /// positions, rotation phases, disks, sweep modes, alignments and avoid
+    /// tracks, the indexed/pruned allocator must choose *exactly* what the
+    /// retained naive reference chooses — same sector, same predicted cost.
+    /// Both search in the same order with first-wins ties, so equality is
+    /// full, not just cost equality.
+    #[test]
+    fn pruned_allocator_matches_naive_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for spec0 in [DiskSpec::hp97560_sim(), DiskSpec::st19101_sim()] {
+            let mut spec = spec0;
+            spec.command_overhead_ns = 0;
+            let g = spec.geometry.clone();
+            let (cyls, tracks) = (g.cylinders(), g.tracks_per_cylinder());
+            let mut rng = StdRng::seed_from_u64(0xA11C ^ cyls as u64);
+            for &util in &[0.05f64, 0.45, 0.85, 0.97] {
+                for one_way in [true, false] {
+                    let clock = SimClock::new();
+                    let mut disk = Disk::new(spec.clone(), clock.clone());
+                    let mut free = FreeMap::new(&g);
+                    // Random per-sector occupancy at the target utilisation,
+                    // plus (sometimes) a band of completely full cylinders so
+                    // the O(1) cylinder skip actually triggers.
+                    let full_band = if rng.gen_bool(0.5) {
+                        let w = rng.gen_range(1..cyls.max(2));
+                        let s = rng.gen_range(0..cyls);
+                        Some((s, w))
+                    } else {
+                        None
+                    };
+                    for cyl in 0..cyls {
+                        let in_band =
+                            full_band.is_some_and(|(s, w)| (cyl + cyls - s) % cyls < w);
+                        for t in 0..tracks {
+                            let spt = g.sectors_per_track(cyl).unwrap();
+                            for sec in 0..spt {
+                                if in_band || rng.gen_bool(util) {
+                                    free.allocate(cyl, t, sec, 1).unwrap();
+                                }
+                            }
+                        }
+                    }
+                    let avoid = rng
+                        .gen_bool(0.5)
+                        .then(|| (rng.gen_range(0..cyls), rng.gen_range(0..tracks)));
+                    for _ in 0..3 {
+                        disk.seek_to(rng.gen_range(0..cyls), rng.gen_range(0..tracks))
+                            .unwrap();
+                        clock.advance(rng.gen_range(0..spec.mech.revolution_ns()));
+                        let mut a = EagerAllocator::new(AllocConfig {
+                            one_way_sweep: one_way,
+                            threshold_fill: false,
+                            ..AllocConfig::default()
+                        });
+                        a.set_avoid(avoid);
+                        for align in [8u32, 1] {
+                            let fast = if align == 8 {
+                                a.find_block(&disk, &free)
+                            } else {
+                                a.find_sector(&disk, &free)
+                            };
+                            let naive = reference::greedy(&disk, &free, avoid, align, one_way);
+                            assert_eq!(
+                                fast, naive,
+                                "divergence: cyls={cyls} util={util} one_way={one_way} \
+                                 align={align} avoid={avoid:?} head={:?}",
+                                disk.head()
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -174,9 +174,10 @@ impl Compactor {
         deadline: u64,
     ) -> Result<bool> {
         let clock = vlog.disk().clock();
-        let g = vlog.disk().spec().geometry.clone();
-        let spt = g.sectors_per_track(vc)?;
-        let start_lba = g.track_start_lba(vc, vt)?;
+        let (spt, start_lba) = {
+            let g = &vlog.disk().spec().geometry;
+            (g.sectors_per_track(vc)?, g.track_start_lba(vc, vt)?)
+        };
         // Nothing — data or map sectors — may land on the victim while it
         // is being emptied, or it never empties.
         vlog.alloc.set_avoid(Some((vc, vt)));
@@ -239,7 +240,7 @@ impl Compactor {
         // Relocate any live map sectors still on the victim track by
         // re-appending their pieces; a checkpoint then releases the
         // superseded blocks (they are pending until one covers them).
-        let resident: Vec<u32> = vlog.pieces_on_track(vc, vt, &g);
+        let resident: Vec<u32> = vlog.pieces_on_track(vc, vt, &vlog.disk().spec().geometry);
         let relocated = !resident.is_empty();
         for piece in resident {
             if clock.now() >= deadline {
@@ -250,7 +251,7 @@ impl Compactor {
             vlog.release_superseded();
             self.stats.pieces_relocated += 1;
         }
-        if relocated || vlog.pending_recycle_on_track(vc, vt, &g) {
+        if relocated || vlog.pending_recycle_on_track(vc, vt, &vlog.disk().spec().geometry) {
             vlog.checkpoint()?;
         }
         vlog.alloc.set_avoid(None);

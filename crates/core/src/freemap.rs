@@ -13,6 +13,11 @@
 
 use disksim::{Geometry, Result};
 
+/// The block alignment the hierarchical index tracks exactly: the paper's
+/// 4 KB block is 8 sectors, and 8 divides the 64-bit bitmap word, so an
+/// aligned slot is one byte of a word.
+pub const INDEX_ALIGN: u32 = 8;
+
 /// Bitmapped free-sector map over an entire disk.
 #[derive(Debug, Clone)]
 pub struct FreeMap {
@@ -30,6 +35,14 @@ pub struct FreeMap {
     total: u64,
     /// Number of completely empty tracks.
     empty_tracks: u32,
+    /// Free sectors per cylinder (summary over the cylinder's tracks).
+    cyl_free: Vec<u64>,
+    /// Free [`INDEX_ALIGN`]-aligned slots per track.
+    aligned_free: Vec<u32>,
+    /// Free [`INDEX_ALIGN`]-aligned slots per cylinder.
+    cyl_aligned: Vec<u32>,
+    /// Completely empty tracks per cylinder.
+    cyl_empty: Vec<u32>,
 }
 
 impl FreeMap {
@@ -58,6 +71,15 @@ impl FreeMap {
             }
         }
         let total = geometry.total_sectors();
+        let n_cyls = geometry.cylinders() as usize;
+        let mut cyl_free = vec![0u64; n_cyls];
+        let mut cyl_aligned = vec![0u32; n_cyls];
+        let aligned_free: Vec<u32> = spt_v.iter().map(|&spt| spt / INDEX_ALIGN).collect();
+        for (ti, &spt) in spt_v.iter().enumerate() {
+            let cyl = ti / tracks_per_cyl as usize;
+            cyl_free[cyl] += spt as u64;
+            cyl_aligned[cyl] += aligned_free[ti];
+        }
         Self {
             bits,
             free_count,
@@ -66,6 +88,10 @@ impl FreeMap {
             total_free: total,
             total,
             empty_tracks: n_tracks as u32,
+            cyl_free,
+            aligned_free,
+            cyl_aligned,
+            cyl_empty: vec![tracks_per_cyl; n_cyls],
         }
     }
 
@@ -122,6 +148,14 @@ impl FreeMap {
         (sector..sector + count).all(|s| self.is_free(cyl, track, s))
     }
 
+    /// Is the [`INDEX_ALIGN`]-aligned slot `slot` of global track `ti`
+    /// entirely free? A slot is one byte of a bitmap word (8 divides 64),
+    /// so the test is a single byte compare.
+    #[inline]
+    fn slot_free(&self, ti: usize, slot: u32) -> bool {
+        (self.bits[ti][slot as usize / 8] >> ((slot % 8) * 8)) & 0xFF == 0xFF
+    }
+
     fn set(&mut self, cyl: u32, track: u32, sector: u32, count: u32, free: bool) -> Result<()> {
         let ti = self.track_index(cyl, track);
         let spt = self.spt[ti];
@@ -132,26 +166,52 @@ impl FreeMap {
             });
         }
         let was_empty = self.free_count[ti] == spt;
+        let slots = spt / INDEX_ALIGN;
         for s in sector..sector + count {
             let w = &mut self.bits[ti][s as usize / 64];
             let mask = 1u64 << (s % 64);
             let cur = *w & mask != 0;
             if cur != free {
+                let slot = s / INDEX_ALIGN;
+                let slot_was = slot < slots && self.slot_free(ti, slot);
+                let w = &mut self.bits[ti][s as usize / 64];
                 if free {
                     *w |= mask;
                     self.free_count[ti] += 1;
                     self.total_free += 1;
+                    self.cyl_free[cyl as usize] += 1;
                 } else {
                     *w &= !mask;
                     self.free_count[ti] -= 1;
                     self.total_free -= 1;
+                    self.cyl_free[cyl as usize] -= 1;
+                }
+                if slot < slots {
+                    let slot_is = self.slot_free(ti, slot);
+                    match (slot_was, slot_is) {
+                        (true, false) => {
+                            self.aligned_free[ti] -= 1;
+                            self.cyl_aligned[cyl as usize] -= 1;
+                        }
+                        (false, true) => {
+                            self.aligned_free[ti] += 1;
+                            self.cyl_aligned[cyl as usize] += 1;
+                        }
+                        _ => {}
+                    }
                 }
             }
         }
         let now_empty = self.free_count[ti] == spt;
         match (was_empty, now_empty) {
-            (true, false) => self.empty_tracks -= 1,
-            (false, true) => self.empty_tracks += 1,
+            (true, false) => {
+                self.empty_tracks -= 1;
+                self.cyl_empty[cyl as usize] -= 1;
+            }
+            (false, true) => {
+                self.empty_tracks += 1;
+                self.cyl_empty[cyl as usize] += 1;
+            }
             _ => {}
         }
         Ok(())
@@ -218,19 +278,121 @@ impl FreeMap {
         })
     }
 
+    /// First free sector on the track at or after `from_sector` (wrapping),
+    /// i.e. `free_sectors_from(..).next()`, but scanning whole 64-bit bitmap
+    /// words with `trailing_zeros` instead of testing sectors one by one.
+    pub fn first_free_from(&self, cyl: u32, track: u32, from_sector: u32) -> Option<u32> {
+        let ti = self.track_index(cyl, track);
+        if self.free_count[ti] == 0 {
+            return None;
+        }
+        let spt = self.spt[ti];
+        let bits = &self.bits[ti];
+        let from = from_sector % spt;
+        let wstart = from as usize / 64;
+        // Bits beyond the track end are zero by construction, so a set bit
+        // always names a valid sector.
+        let w = bits[wstart] & (u64::MAX << (from % 64));
+        if w != 0 {
+            return Some(wstart as u32 * 64 + w.trailing_zeros());
+        }
+        for (wi, &w) in bits.iter().enumerate().skip(wstart + 1) {
+            if w != 0 {
+                return Some(wi as u32 * 64 + w.trailing_zeros());
+            }
+        }
+        // Wrap: words before the start, then the low bits of the start word.
+        for (wi, &w) in bits.iter().enumerate().take(wstart) {
+            if w != 0 {
+                return Some(wi as u32 * 64 + w.trailing_zeros());
+            }
+        }
+        let w = bits[wstart] & !(u64::MAX << (from % 64));
+        (w != 0).then(|| wstart as u32 * 64 + w.trailing_zeros())
+    }
+
+    /// First free aligned run of `align` sectors at or after `from_sector`
+    /// (wrapping), equivalent to [`FreeMap::free_aligned_from`] but with an
+    /// O(1) exit on tracks with no free slot and a byte-compare per slot
+    /// when `align` is the indexed alignment.
+    pub fn first_aligned_from(
+        &self,
+        cyl: u32,
+        track: u32,
+        from_sector: u32,
+        align: u32,
+    ) -> Option<u32> {
+        if align == 1 {
+            return self.first_free_from(cyl, track, from_sector);
+        }
+        let ti = self.track_index(cyl, track);
+        if self.free_count[ti] < align {
+            return None;
+        }
+        if align != INDEX_ALIGN {
+            return self.free_aligned_from(cyl, track, from_sector, align);
+        }
+        if self.aligned_free[ti] == 0 {
+            return None;
+        }
+        let slots = self.spt[ti] / align;
+        let start_slot = from_sector.div_ceil(align) % slots;
+        (0..slots)
+            .map(|i| (start_slot + i) % slots)
+            .find(|&slot| self.slot_free(ti, slot))
+            .map(|slot| slot * align)
+    }
+
+    /// Free sectors in a whole cylinder.
+    #[inline]
+    pub fn free_in_cylinder(&self, cyl: u32) -> u64 {
+        self.cyl_free[cyl as usize]
+    }
+
+    /// Free [`INDEX_ALIGN`]-aligned slots in a whole cylinder.
+    #[inline]
+    pub fn aligned_in_cylinder(&self, cyl: u32) -> u32 {
+        self.cyl_aligned[cyl as usize]
+    }
+
+    /// Completely empty tracks in a cylinder.
+    #[inline]
+    pub fn empty_in_cylinder(&self, cyl: u32) -> u32 {
+        self.cyl_empty[cyl as usize]
+    }
+
+    /// Can this cylinder possibly hold a free run of `align` sectors?
+    /// Exact for 1 and [`INDEX_ALIGN`]; a conservative (never false-negative)
+    /// free-count bound otherwise. The allocator uses this to skip whole
+    /// cylinders in O(1).
+    #[inline]
+    pub fn cylinder_has_candidate(&self, cyl: u32, align: u32) -> bool {
+        match align {
+            1 => self.cyl_free[cyl as usize] > 0,
+            INDEX_ALIGN => self.cyl_aligned[cyl as usize] > 0,
+            a => self.cyl_free[cyl as usize] >= a as u64,
+        }
+    }
+
     /// Find the nearest completely empty track to `cyl`, scanning outward in
-    /// cylinder distance. Returns (cyl, track).
+    /// cylinder distance. Returns (cyl, track). The per-cylinder empty-track
+    /// summary skips cylinders with nothing to offer in O(1).
     pub fn nearest_empty_track(&self, cyl: u32) -> Option<(u32, u32)> {
         let cyls = (self.bits.len() / self.tracks_per_cyl as usize) as u32;
+        if self.empty_tracks == 0 {
+            return None;
+        }
         for d in 0..cyls {
             for candidate in [cyl.checked_sub(d), (cyl + d < cyls).then_some(cyl + d)]
                 .into_iter()
                 .flatten()
             {
-                for t in 0..self.tracks_per_cyl {
-                    let ti = self.track_index(candidate, t);
-                    if self.free_count[ti] == self.spt[ti] {
-                        return Some((candidate, t));
+                if self.cyl_empty[candidate as usize] > 0 {
+                    for t in 0..self.tracks_per_cyl {
+                        let ti = self.track_index(candidate, t);
+                        if self.free_count[ti] == self.spt[ti] {
+                            return Some((candidate, t));
+                        }
                     }
                 }
                 if d == 0 {

@@ -22,7 +22,7 @@
 use crate::alloc::{AllocConfig, Candidate, EagerAllocator};
 use crate::checkpoint::{Checkpoint, CheckpointRegion};
 use crate::freemap::FreeMap;
-use crate::mapsector::{MapFlags, MapSector, TxnInfo, PIECE_ENTRIES, UNMAPPED};
+use crate::mapsector::{MapFlags, MapSectorRef, TxnInfo, PIECE_ENTRIES, UNMAPPED};
 use crate::tail::{TailRecord, FIRMWARE_SECTORS, TAIL_LBA};
 use disksim::{Disk, DiskError, Result, ServiceTime, SECTOR_BYTES};
 
@@ -434,7 +434,7 @@ impl VirtualLog {
     /// Release a raw physical block previously returned by
     /// [`VirtualLog::write_raw`].
     pub fn free_raw(&mut self, pb: u32) -> Result<()> {
-        let g = self.disk.spec().geometry.clone();
+        let g = &self.disk.spec().geometry;
         let p = g.lba_to_phys(pb as u64 * BLOCK_SECTORS as u64)?;
         self.free.release(p.cyl, p.track, p.sector, BLOCK_SECTORS)
     }
@@ -442,7 +442,7 @@ impl VirtualLog {
     /// After recovery, re-register an externally tracked block (recovered
     /// from a structure such as an inode) as allocated.
     pub fn reserve_external_block(&mut self, pb: u32) -> Result<()> {
-        let g = self.disk.spec().geometry.clone();
+        let g = &self.disk.spec().geometry;
         let p = g.lba_to_phys(pb as u64 * BLOCK_SECTORS as u64)?;
         self.free.allocate(p.cyl, p.track, p.sector, BLOCK_SECTORS)
     }
@@ -558,14 +558,19 @@ impl VirtualLog {
             .ok_or(DiskError::NoSpace)?;
         let lba = self.cand_lba(&cand)?;
         let old = self.pieces[piece as usize];
-        let sector = MapSector {
+        // Encode straight from the map table. The final piece may be
+        // shorter than PIECE_ENTRIES; recovery treats absent trailing
+        // entries and UNMAPPED padding identically.
+        let start = piece as usize * PIECE_ENTRIES;
+        let end = (start + PIECE_ENTRIES).min(self.map.len());
+        let sector = MapSectorRef {
             seq: self.next_seq,
             piece,
             flags,
             prev: self.root,
             bypass: old.and_then(|o| o.prev),
             txn,
-            entries: self.piece_entries(piece),
+            entries: &self.map[start..end],
         };
         if trace_enabled() {
             let h = self.disk.head();
@@ -601,20 +606,10 @@ impl VirtualLog {
         Ok(t)
     }
 
-    /// Current in-memory payload of a piece (always full length; trailing
-    /// entries beyond the logical capacity stay UNMAPPED).
-    pub(crate) fn piece_entries(&self, piece: u32) -> Vec<u32> {
-        let start = piece as usize * PIECE_ENTRIES;
-        let end = (start + PIECE_ENTRIES).min(self.map.len());
-        let mut v = self.map[start..end].to_vec();
-        v.resize(PIECE_ENTRIES, UNMAPPED);
-        v
-    }
-
     /// Release everything whose supersession just became durable: old data
     /// blocks and old map-piece sectors queued during the current operation.
     pub(crate) fn release_superseded(&mut self) {
-        let g = self.disk.spec().geometry.clone();
+        let g = &self.disk.spec().geometry;
         for pb in self.deferred_blocks.drain(..) {
             self.rmap[pb as usize] = UNMAPPED;
             let p = g
@@ -643,7 +638,7 @@ impl VirtualLog {
         let t = self.disk.write_sectors(slot, &image)?;
         self.ckpt_use_b = !self.ckpt_use_b;
         self.checkpoint_seq = ck.seq;
-        let g = self.disk.spec().geometry.clone();
+        let g = &self.disk.spec().geometry;
         for lba in self.pending_recycle.drain(..) {
             let p = g
                 .lba_to_phys(lba)

@@ -118,7 +118,48 @@ pub struct MapSector {
     pub entries: Vec<u32>,
 }
 
+/// A map sector with a *borrowed* payload, for serialisation. The log
+/// appends one map piece per tracked write; encoding straight from the
+/// in-memory map table avoids cloning the piece payload on every append.
+#[derive(Debug, Clone, Copy)]
+pub struct MapSectorRef<'a> {
+    /// Age of this entry; strictly increasing across the log.
+    pub seq: u64,
+    /// Which piece of the map table this sector holds.
+    pub piece: u32,
+    /// Flags (transaction markers).
+    pub flags: MapFlags,
+    /// Backward pointer to the previous log root: (lba, seq).
+    pub prev: Option<(u64, u64)>,
+    /// Bypass pointer past a recycled older version: (lba, seq).
+    pub bypass: Option<(u64, u64)>,
+    /// Transaction metadata if this sector participates in one.
+    pub txn: Option<TxnInfo>,
+    /// The piece payload. At most [`PIECE_ENTRIES`] long.
+    pub entries: &'a [u32],
+}
+
 impl MapSector {
+    /// Serialise into a [`PIECE_BYTES`]-byte block image.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the payload exceeds [`PIECE_ENTRIES`].
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        MapSectorRef {
+            seq: self.seq,
+            piece: self.piece,
+            flags: self.flags,
+            prev: self.prev,
+            bypass: self.bypass,
+            txn: self.txn,
+            entries: &self.entries,
+        }
+        .encode()
+    }
+}
+
+impl MapSectorRef<'_> {
     /// Serialise into a [`PIECE_BYTES`]-byte block image.
     ///
     /// # Errors
@@ -161,7 +202,9 @@ impl MapSector {
         buf[68..72].copy_from_slice(&sum.to_le_bytes());
         Ok(buf)
     }
+}
 
+impl MapSector {
     /// Try to decode a piece image. Returns `None` (not an error) if the
     /// block is not a valid map piece — the common case when scanning.
     pub fn decode(buf: &[u8]) -> Option<MapSector> {

@@ -253,7 +253,7 @@ impl VirtualLog {
         }
         let mut free = FreeMap::new(&disk.spec().geometry);
         Self::reserve_meta(&disk, &mut free, &region);
-        let g = disk.spec().geometry.clone();
+        let g = &disk.spec().geometry;
         for loc in piece_locs.iter().flatten() {
             let p = g.lba_to_phys(loc.lba)?;
             free.allocate(p.cyl, p.track, p.sector, BLOCK_SECTORS)?;

@@ -17,6 +17,7 @@ use crate::cache::{CachePolicy, TrackCache};
 use crate::clock::SimClock;
 use crate::error::{DiskError, Result};
 use crate::geometry::PhysAddr;
+use crate::mech::SeekTable;
 use crate::service::ServiceTime;
 use crate::spec::DiskSpec;
 use crate::SECTOR_BYTES;
@@ -100,12 +101,15 @@ pub struct Disk {
     cur_track: u32,
     cache: TrackCache,
     stats: DiskStats,
+    /// Precomputed seek curve (one entry per cylinder distance).
+    seek: SeekTable,
 }
 
 impl Disk {
     /// Create a disk from a spec, attached to the given clock, with the
     /// stock (conservative) read-ahead policy.
     pub fn new(spec: DiskSpec, clock: SimClock) -> Self {
+        let seek = spec.mech.seek_table(spec.geometry.cylinders());
         Self {
             spec,
             clock,
@@ -114,7 +118,30 @@ impl Disk {
             cur_track: 0,
             cache: TrackCache::new(CachePolicy::Conservative),
             stats: DiskStats::default(),
+            seek,
         }
+    }
+
+    /// Tabulated seek time for a cylinder distance of `d` (identical to
+    /// `spec().mech.seek_ns(d)`, without the per-call float work).
+    #[inline]
+    pub fn seek_ns(&self, d: u32) -> u64 {
+        self.seek.get(d)
+    }
+
+    /// Lower bound on the positioning cost from the head's current location
+    /// to *any* sector of (`cyl`, `track`): the seek / head-switch time
+    /// alone, before rotation. Lets an allocator discard a whole track with
+    /// one table lookup when an incumbent candidate is already cheaper.
+    #[inline]
+    pub fn reposition_lower_bound_ns(&self, cyl: u32, track: u32) -> u64 {
+        let seek = self.seek.get(self.cur_cyl.abs_diff(cyl));
+        let switch = if self.cur_cyl == cyl && self.cur_track != track {
+            self.spec.mech.head_switch_ns
+        } else {
+            0
+        };
+        seek.max(switch)
     }
 
     /// The drive's specification.
@@ -213,7 +240,7 @@ impl Disk {
     /// head over (`from_cyl`, `from_track`) at absolute time `t`.
     fn plan_run(&self, run: &Run, from_cyl: u32, from_track: u32, t: u64) -> ServiceTime {
         let mech = &self.spec.mech;
-        let seek = mech.seek_ns(from_cyl.abs_diff(run.cyl));
+        let seek = self.seek.get(from_cyl.abs_diff(run.cyl));
         let switch = if from_cyl == run.cyl && from_track != run.track {
             mech.head_switch_ns
         } else {
@@ -247,7 +274,7 @@ impl Disk {
             });
         }
         let mech = &self.spec.mech;
-        let seek = mech.seek_ns(self.cur_cyl.abs_diff(cyl));
+        let seek = self.seek.get(self.cur_cyl.abs_diff(cyl));
         let switch = if self.cur_cyl == cyl && self.cur_track != track {
             mech.head_switch_ns
         } else {
@@ -419,7 +446,7 @@ impl Disk {
             });
         }
         let mech = &self.spec.mech;
-        let seek = mech.seek_ns(self.cur_cyl.abs_diff(cyl));
+        let seek = self.seek.get(self.cur_cyl.abs_diff(cyl));
         let switch = if self.cur_cyl == cyl && self.cur_track != track {
             mech.head_switch_ns
         } else {

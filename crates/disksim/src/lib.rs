@@ -45,7 +45,7 @@ pub use disk::{Disk, DiskStats, HeadPosition};
 pub use error::{DiskError, Result};
 pub use fault::{FaultDisk, FaultLog, FaultPlan, WriteFault};
 pub use geometry::{Geometry, PhysAddr, Zone};
-pub use mech::MechModel;
+pub use mech::{MechModel, SeekTable};
 pub use sched::SchedPolicy;
 pub use service::ServiceTime;
 pub use spec::DiskSpec;

@@ -87,6 +87,14 @@ impl MechModel {
         seek.max(switch)
     }
 
+    /// Precompute the seek curve over every distance a disk of `cylinders`
+    /// cylinders can ask for, replacing the per-call `sqrt` with a lookup.
+    pub fn seek_table(&self, cylinders: u32) -> SeekTable {
+        SeekTable {
+            ns: (0..cylinders.max(1)).map(|d| self.seek_ns(d)).collect(),
+        }
+    }
+
     /// Rotational offset (in sectors) of the head over a track with
     /// `sectors_per_track` sectors at absolute time `t_ns`: which sector
     /// boundary most recently passed under the head.
@@ -109,6 +117,41 @@ impl MechModel {
         } else {
             rev - in_rev + target_start
         }
+    }
+}
+
+/// Precomputed seek times for every cylinder distance on one disk.
+///
+/// `seek_ns` sits on the allocator's innermost loop (every candidate ranking
+/// and every lower-bound prune evaluates it); the two-piece curve costs a
+/// float `sqrt` per call, so the table turns that into an indexed load. The
+/// values are produced by [`MechModel::seek_ns`] itself, so table and curve
+/// agree bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct SeekTable {
+    ns: Vec<u64>,
+}
+
+impl SeekTable {
+    /// Seek time for a cylinder distance of `d`. Distances beyond the
+    /// precomputed range (never produced by a valid geometry) fall back to
+    /// the largest tabulated distance's cost.
+    #[inline]
+    pub fn get(&self, d: u32) -> u64 {
+        match self.ns.get(d as usize) {
+            Some(&ns) => ns,
+            None => *self.ns.last().expect("table is never empty"),
+        }
+    }
+
+    /// Number of tabulated distances.
+    pub fn len(&self) -> usize {
+        self.ns.len()
+    }
+
+    /// Is the table empty? (Never true; kept for the `len` convention.)
+    pub fn is_empty(&self) -> bool {
+        self.ns.is_empty()
     }
 }
 
@@ -155,6 +198,19 @@ mod tests {
             assert!(s >= prev, "seek not monotonic at {d}");
             prev = s;
         }
+    }
+
+    #[test]
+    fn seek_table_matches_curve() {
+        let m = model();
+        let table = m.seek_table(1500);
+        for d in 0..1500 {
+            assert_eq!(table.get(d), m.seek_ns(d), "table diverges at {d}");
+        }
+        // Out-of-range distances clamp to the longest tabulated seek.
+        assert_eq!(table.get(5000), m.seek_ns(1499));
+        assert_eq!(table.len(), 1500);
+        assert!(!table.is_empty());
     }
 
     #[test]

@@ -5,8 +5,15 @@
 //! MinixUFS file cache, which some experiments declare to be NVRAM. The
 //! cache itself is device-agnostic: the owning file system decides when a
 //! dirty eviction or a `sync` reaches the device.
+//!
+//! Recency is tracked with two ordered tick indexes (clean and dirty), so
+//! victim selection and the dirty census are O(log n) / O(1) instead of a
+//! full-map scan — the cache sits on the per-block write path of every
+//! benchmark, where a thousand-entry scan per eviction dominated. Ticks
+//! are unique and monotonically increasing, so the victim each eviction
+//! picks is exactly the one the old linear scan found.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One cached block.
 #[derive(Debug, Clone)]
@@ -22,6 +29,10 @@ pub struct BufferCache {
     capacity: usize,
     block_size: usize,
     map: HashMap<u64, Buf>,
+    /// Clean blocks ordered by recency: lru tick -> block number.
+    clean_lru: BTreeMap<u64, u64>,
+    /// Dirty blocks ordered by recency: lru tick -> block number.
+    dirty_lru: BTreeMap<u64, u64>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -40,6 +51,8 @@ impl BufferCache {
             capacity,
             block_size,
             map: HashMap::new(),
+            clean_lru: BTreeMap::new(),
+            dirty_lru: BTreeMap::new(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -68,7 +81,7 @@ impl BufferCache {
 
     /// Number of dirty blocks.
     pub fn dirty_count(&self) -> usize {
-        self.map.values().filter(|b| b.dirty).count()
+        self.dirty_lru.len()
     }
 
     /// (hits, misses) counters.
@@ -81,14 +94,28 @@ impl BufferCache {
         *tick
     }
 
+    /// Move a block's recency-index entry from tick `old` to tick `new`,
+    /// within the index matching its dirty state.
+    fn retick(&mut self, block: u64, dirty: bool, old: u64, new: u64) {
+        let index = if dirty {
+            &mut self.dirty_lru
+        } else {
+            &mut self.clean_lru
+        };
+        index.remove(&old);
+        index.insert(new, block);
+    }
+
     /// Look up a block, refreshing its LRU position.
     pub fn get(&mut self, block: u64) -> Option<&[u8]> {
         let t = Self::bump(&mut self.tick);
         match self.map.get_mut(&block) {
             Some(b) => {
+                let (old, dirty) = (b.lru, b.dirty);
                 b.lru = t;
                 self.hits += 1;
-                Some(&b.data)
+                self.retick(block, dirty, old, t);
+                Some(&self.map[&block].data)
             }
             None => {
                 self.misses += 1;
@@ -106,9 +133,16 @@ impl BufferCache {
     pub fn get_mut_dirty(&mut self, block: u64) -> Option<&mut [u8]> {
         let t = Self::bump(&mut self.tick);
         let b = self.map.get_mut(&block)?;
+        let (old, was_dirty) = (b.lru, b.dirty);
         b.lru = t;
         b.dirty = true;
-        Some(&mut b.data)
+        if was_dirty {
+            self.dirty_lru.remove(&old);
+        } else {
+            self.clean_lru.remove(&old);
+        }
+        self.dirty_lru.insert(t, block);
+        Some(&mut self.map.get_mut(&block).expect("just found").data)
     }
 
     /// Insert (or replace) a block. Does **not** evict — call
@@ -121,7 +155,22 @@ impl BufferCache {
         assert_eq!(data.len(), self.block_size, "cache blocks are fixed-size");
         let t = Self::bump(&mut self.tick);
         // Replacement keeps an existing buffer dirty if either copy was.
-        let dirty = dirty || self.map.get(&block).map(|b| b.dirty).unwrap_or(false);
+        let dirty = match self.map.get(&block) {
+            Some(old) => {
+                if old.dirty {
+                    self.dirty_lru.remove(&old.lru);
+                } else {
+                    self.clean_lru.remove(&old.lru);
+                }
+                dirty || old.dirty
+            }
+            None => dirty,
+        };
+        if dirty {
+            self.dirty_lru.insert(t, block);
+        } else {
+            self.clean_lru.insert(t, block);
+        }
         self.map.insert(
             block,
             Buf {
@@ -137,40 +186,51 @@ impl BufferCache {
         self.map.len() >= self.capacity
     }
 
+    /// Remove the named recency-index entry and the map entry behind it.
+    fn take(&mut self, tick: u64, dirty: bool) -> (u64, Vec<u8>, bool) {
+        let block = if dirty {
+            self.dirty_lru.remove(&tick)
+        } else {
+            self.clean_lru.remove(&tick)
+        }
+        .expect("index entry exists");
+        let b = self.map.remove(&block).expect("indexed block exists");
+        (block, b.data, b.dirty)
+    }
+
     /// Remove and return the least-recently-used block:
     /// `(block, data, dirty)`. The caller must write dirty data back.
     pub fn evict_lru(&mut self) -> Option<(u64, Vec<u8>, bool)> {
-        let victim = self
-            .map
-            .iter()
-            .min_by_key(|(_, b)| b.lru)
-            .map(|(k, _)| *k)?;
-        let b = self.map.remove(&victim).expect("victim exists");
-        Some((victim, b.data, b.dirty))
+        let clean = self.clean_lru.first_key_value().map(|(&t, _)| t);
+        let dirty = self.dirty_lru.first_key_value().map(|(&t, _)| t);
+        match (clean, dirty) {
+            (Some(c), Some(d)) if c < d => Some(self.take(c, false)),
+            (Some(_), Some(d)) => Some(self.take(d, true)),
+            (Some(c), None) => Some(self.take(c, false)),
+            (None, Some(d)) => Some(self.take(d, true)),
+            (None, None) => None,
+        }
     }
 
     /// Like [`BufferCache::evict_lru`], but prefers the least-recently-used
     /// *clean* block, falling back to a dirty one only when everything is
     /// dirty. Clean evictions cost no I/O.
     pub fn evict_lru_prefer_clean(&mut self) -> Option<(u64, Vec<u8>, bool)> {
-        let clean = self
-            .map
-            .iter()
-            .filter(|(_, b)| !b.dirty)
-            .min_by_key(|(_, b)| b.lru)
-            .map(|(k, _)| *k);
-        match clean {
-            Some(victim) => {
-                let b = self.map.remove(&victim).expect("victim exists");
-                Some((victim, b.data, b.dirty))
-            }
-            None => self.evict_lru(),
+        if let Some((&t, _)) = self.clean_lru.first_key_value() {
+            return Some(self.take(t, false));
         }
+        self.evict_lru()
     }
 
     /// Remove a specific block without writing it back.
     pub fn remove(&mut self, block: u64) -> Option<(Vec<u8>, bool)> {
-        self.map.remove(&block).map(|b| (b.data, b.dirty))
+        let b = self.map.remove(&block)?;
+        if b.dirty {
+            self.dirty_lru.remove(&b.lru);
+        } else {
+            self.clean_lru.remove(&b.lru);
+        }
+        Some((b.data, b.dirty))
     }
 
     /// Snapshot all dirty blocks in ascending block order (the elevator
@@ -186,18 +246,25 @@ impl BufferCache {
             })
             .collect();
         out.sort_by_key(|(k, _)| *k);
+        // Everything dirty is now clean; recency (the ticks) is unchanged.
+        let drained = std::mem::take(&mut self.dirty_lru);
+        self.clean_lru.extend(drained);
         out
     }
 
     /// Drop every clean block (a benchmark "cache flush"); dirty blocks
     /// stay, since dropping them would lose data.
     pub fn drop_clean(&mut self) {
-        self.map.retain(|_, b| b.dirty);
+        for (_, block) in std::mem::take(&mut self.clean_lru) {
+            self.map.remove(&block);
+        }
     }
 
     /// Drop everything, dirty or not (simulated crash of a volatile cache).
     pub fn clear(&mut self) {
         self.map.clear();
+        self.clean_lru.clear();
+        self.dirty_lru.clear();
     }
 }
 
@@ -306,5 +373,88 @@ mod tests {
     #[should_panic(expected = "fixed-size")]
     fn wrong_size_block_panics() {
         cache(2).insert(0, vec![0; 3], false);
+    }
+
+    /// The indexed implementation must agree with a straight linear-scan
+    /// reference on every operation's observable result.
+    #[test]
+    fn indexed_lru_matches_linear_scan_reference() {
+        // Reference state: (block -> (dirty, lru)).
+        let mut reference: Vec<(u64, bool, u64)> = Vec::new();
+        let mut c = cache(8);
+        let mut tick = 0u64;
+        let mut x: u64 = 0x12345;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..4000 {
+            match rng() % 6 {
+                0 | 1 => {
+                    let blk = rng() % 12;
+                    let dirty = rng() % 2 == 0;
+                    tick += 1;
+                    if !c.is_full() || c.contains(blk) {
+                        c.insert(blk, vec![0; 4], dirty);
+                        match reference.iter_mut().find(|(b, _, _)| *b == blk) {
+                            Some(e) => {
+                                e.1 |= dirty;
+                                e.2 = tick;
+                            }
+                            None => reference.push((blk, dirty, tick)),
+                        }
+                    }
+                }
+                2 => {
+                    let blk = rng() % 12;
+                    tick += 1;
+                    let hit = c.get(blk).is_some();
+                    let r = reference.iter_mut().find(|(b, _, _)| *b == blk);
+                    assert_eq!(hit, r.is_some());
+                    if let Some(e) = r {
+                        e.2 = tick;
+                    }
+                }
+                3 => {
+                    tick += 1;
+                    let got = c.evict_lru().map(|(b, _, d)| (b, d));
+                    let want = reference
+                        .iter()
+                        .min_by_key(|(_, _, l)| *l)
+                        .map(|&(b, d, _)| (b, d));
+                    assert_eq!(got, want);
+                    if let Some((b, _)) = want {
+                        reference.retain(|(rb, _, _)| *rb != b);
+                    }
+                }
+                4 => {
+                    tick += 1;
+                    let got = c.evict_lru_prefer_clean().map(|(b, _, d)| (b, d));
+                    let clean = reference
+                        .iter()
+                        .filter(|(_, d, _)| !d)
+                        .min_by_key(|(_, _, l)| *l)
+                        .map(|&(b, d, _)| (b, d));
+                    let want = clean.or_else(|| {
+                        reference
+                            .iter()
+                            .min_by_key(|(_, _, l)| *l)
+                            .map(|&(b, d, _)| (b, d))
+                    });
+                    assert_eq!(got, want);
+                    if let Some((b, _)) = want {
+                        reference.retain(|(rb, _, _)| *rb != b);
+                    }
+                }
+                _ => {
+                    let want_dirty: usize =
+                        reference.iter().filter(|(_, d, _)| *d).count();
+                    assert_eq!(c.dirty_count(), want_dirty);
+                    assert_eq!(c.len(), reference.len());
+                }
+            }
+        }
     }
 }

@@ -491,6 +491,17 @@ impl LogDisk {
         self.flush_seq
     }
 
+    /// Assemble the one-command write image for a segment flush: the
+    /// encoded summary followed by the first `fill` data slots. Built with
+    /// two bulk copies — this runs on every seal/flush, where an
+    /// element-wise iterator collect of the ~512 KB image was measurable.
+    fn seg_image(summary: &Summary, data: &[u8], fill: usize, bs: usize) -> Vec<u8> {
+        let mut image = Vec::with_capacity((1 + fill) * bs);
+        image.extend_from_slice(&summary.encode(bs));
+        image.extend_from_slice(&data[..fill * bs]);
+        image
+    }
+
     /// The open segment's contents just reached the platter: everything it
     /// superseded is now safely dead, so parked segments become free.
     fn promote_pending_frees(&mut self) {
@@ -519,12 +530,8 @@ impl LogDisk {
                 let fill = open.summary.fill;
                 open.summary.data_csum =
                     fnv64(&[&open.data[..fill as usize * self.block_size]]);
-                let image: Vec<u8> = open
-                    .summary
-                    .encode(self.block_size)
-                    .into_iter()
-                    .chain(open.data[..fill as usize * self.block_size].iter().copied())
-                    .collect();
+                let image =
+                    Self::seg_image(&open.summary, &open.data, fill as usize, self.block_size);
                 let start = summary_block(open.seg);
                 open.flushed = fill;
                 self.dev.write_blocks(start, &image)?;
@@ -574,12 +581,8 @@ impl LogDisk {
             open.summary.data_csum =
                 fnv64(&[&open.data[..fill as usize * self.block_size]]);
             // Write summary + filled slots in one command.
-            let image: Vec<u8> = open
-                .summary
-                .encode(self.block_size)
-                .into_iter()
-                .chain(open.data[..fill as usize * self.block_size].iter().copied())
-                .collect();
+            let image =
+                Self::seg_image(&open.summary, &open.data, fill as usize, self.block_size);
             let start = summary_block(open.seg);
             open.flushed = fill;
             self.dev.write_blocks(start, &image)?;
@@ -590,12 +593,7 @@ impl LogDisk {
 
     fn write_open_image(&mut self, open: &OpenSeg) -> FsResult<()> {
         let fill = open.summary.fill as usize;
-        let image: Vec<u8> = open
-            .summary
-            .encode(self.block_size)
-            .into_iter()
-            .chain(open.data[..fill * self.block_size].iter().copied())
-            .collect();
+        let image = Self::seg_image(&open.summary, &open.data, fill, self.block_size);
         self.dev.write_blocks(summary_block(open.seg), &image)?;
         Ok(())
     }
@@ -680,8 +678,9 @@ impl LogDisk {
         self.cleaning = true;
         for (idx, owner) in live {
             let off = (1 + idx as usize) * self.block_size;
-            let buf: Vec<u8> = image[off..off + self.block_size].to_vec();
-            let r = self.append(owner as u64, &buf);
+            // `image` is a local buffer, so it can be lent to `append`
+            // directly — no per-block copy.
+            let r = self.append(owner as u64, &image[off..off + self.block_size]);
             if r.is_err() {
                 self.cleaning = false;
             }
