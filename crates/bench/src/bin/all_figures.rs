@@ -9,6 +9,11 @@
 //! writes the per-section wall-clock / simulated-event record that
 //! `BENCH_all_figures.json` archives. The human-readable timing report
 //! goes to stderr so it never perturbs the figure text.
+//!
+//! `--trace PATH` and `--metrics-json PATH` additionally run the traced
+//! observability exhibit (see `vlfs_bench::obs`), exporting a JSONL event
+//! trace (analysed by the `vlstat` binary) and a metrics document; figure
+//! stdout is unaffected.
 
 use vlfs_bench::{par, timing};
 
@@ -24,6 +29,8 @@ fn main() {
         par::set_threads(n);
     }
     let timing_json = flag_value("--timing-json");
+    let trace_path = flag_value("--trace");
+    let metrics_path = flag_value("--metrics-json");
 
     let (w1, t2, files, mb, u8_, u9, b10, b11) = if quick {
         (120, 40, 200, 4, 400, 200, 1200, 800)
@@ -53,6 +60,20 @@ fn main() {
         "vlfs_preview",
         vlfs_bench::vlfs_preview::run(if quick { 150 } else { 600 })
     );
+
+    // The observability exhibit runs only when an export path was given.
+    // It writes the trace / metrics files and reports on stderr, so stdout
+    // stays byte-identical whether or not tracing is enabled.
+    if trace_path.is_some() || metrics_path.is_some() {
+        let report = rec.time("obs", || {
+            vlfs_bench::obs::run(
+                if quick { 240 } else { 800 },
+                trace_path.as_deref(),
+                metrics_path.as_deref(),
+            )
+        });
+        eprint!("{report}");
+    }
 
     eprint!("{}", rec.report());
     if let Some(path) = timing_json {

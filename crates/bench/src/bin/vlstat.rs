@@ -1,0 +1,174 @@
+//! `vlstat` — analyse a JSONL trace produced by `all_figures --trace`.
+//!
+//! Usage: `vlstat TRACE.jsonl`
+//!
+//! Prints, per scope label found in the trace:
+//!
+//! * a Table 2-style per-operation latency decomposition (SCSI overhead,
+//!   seek, head switch, rotation, transfer — mean ms and share of busy
+//!   time), and
+//! * a seek-distance distribution in cylinders.
+//!
+//! The trace format is the fixed ASCII JSONL emitted by the tracer, so the
+//! parser is a few string scans — no JSON library required (the workspace
+//! builds offline).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Extract the numeric value of `"key":` from a trace line.
+fn num(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let Some(i) = line.find(&pat) else { return 0 };
+    line[i + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+/// Extract the string value of `"key":"..."` from a trace line.
+fn strval<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":\"");
+    let Some(i) = line.find(&pat) else { return "" };
+    let rest = &line[i + pat.len()..];
+    &rest[..rest.find('"').unwrap_or(0)]
+}
+
+/// Seek-distance buckets, in cylinders.
+const SEEK_BUCKETS: [(&str, u64, u64); 5] = [
+    ("0", 0, 0),
+    ("1-3", 1, 3),
+    ("4-15", 4, 15),
+    ("16-63", 16, 63),
+    ("64+", 64, u64::MAX),
+];
+
+#[derive(Default)]
+struct Acc {
+    ops: u64,
+    reads: u64,
+    writes: u64,
+    seeks: u64,
+    faults: u64,
+    overhead_ns: u64,
+    seek_ns: u64,
+    head_switch_ns: u64,
+    rotation_ns: u64,
+    transfer_ns: u64,
+    seek_dist: [u64; SEEK_BUCKETS.len()],
+}
+
+impl Acc {
+    fn busy_ns(&self) -> u64 {
+        self.overhead_ns + self.seek_ns + self.head_switch_ns + self.rotation_ns + self.transfer_ns
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: vlstat TRACE.jsonl");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("vlstat: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut scopes: BTreeMap<String, Acc> = BTreeMap::new();
+    let mut total = 0u64;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        total += 1;
+        let acc = scopes.entry(strval(line, "scope").to_string()).or_default();
+        acc.ops += 1;
+        match strval(line, "kind") {
+            "read" => acc.reads += 1,
+            "write" => acc.writes += 1,
+            "seek" => acc.seeks += 1,
+            "fault" => acc.faults += 1,
+            _ => {}
+        }
+        acc.overhead_ns += num(line, "overhead_ns");
+        acc.seek_ns += num(line, "seek_ns");
+        acc.head_switch_ns += num(line, "head_switch_ns");
+        acc.rotation_ns += num(line, "rotation_ns");
+        acc.transfer_ns += num(line, "transfer_ns");
+        let d = num(line, "seek_cyls");
+        for (i, &(_, lo, hi)) in SEEK_BUCKETS.iter().enumerate() {
+            if d >= lo && d <= hi {
+                acc.seek_dist[i] += 1;
+                break;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "vlstat: {total} events from {path}\n");
+
+    let _ = writeln!(out, "## per-scope latency decomposition");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "scope", "ops", "mean ms", "SCSI", "seek", "switch", "rot", "xfer"
+    );
+    for (scope, a) in &scopes {
+        let busy = a.busy_ns();
+        let pct = |x: u64| {
+            if busy == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.0}%", x as f64 / busy as f64 * 100.0)
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>10.3} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            if scope.is_empty() { "(none)" } else { scope },
+            a.ops,
+            busy as f64 / a.ops.max(1) as f64 / 1e6,
+            pct(a.overhead_ns),
+            pct(a.seek_ns),
+            pct(a.head_switch_ns),
+            pct(a.rotation_ns),
+            pct(a.transfer_ns),
+        );
+    }
+
+    let _ = writeln!(out, "\n## op mix (reads / writes / seeks / faults)");
+    for (scope, a) in &scopes {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>8} {:>8} {:>8}",
+            if scope.is_empty() { "(none)" } else { scope },
+            a.reads,
+            a.writes,
+            a.seeks,
+            a.faults,
+        );
+    }
+
+    let _ = writeln!(out, "\n## seek distance distribution (cylinders)");
+    let _ = write!(out, "{:<24}", "scope");
+    for &(name, _, _) in &SEEK_BUCKETS {
+        let _ = write!(out, " {name:>8}");
+    }
+    out.push('\n');
+    for (scope, a) in &scopes {
+        let _ = write!(
+            out,
+            "{:<24}",
+            if scope.is_empty() { "(none)" } else { scope }
+        );
+        for &c in &a.seek_dist {
+            let _ = write!(out, " {c:>8}");
+        }
+        out.push('\n');
+    }
+
+    print!("{out}");
+}

@@ -18,7 +18,7 @@
 //! firmware running inside the drive — precisely the paper's premise.
 
 use crate::freemap::FreeMap;
-use disksim::{Disk, ServiceTime};
+use disksim::{Disk, Metrics, ServiceTime};
 
 /// A chosen allocation target and its predicted positioning cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +69,9 @@ pub struct EagerAllocator {
     /// A track allocations must avoid (set while the compactor empties it,
     /// so fresh writes don't re-pollute the victim).
     avoid: Option<(u32, u32)>,
+    /// Metrics handle (disabled by default). Counts fast-path vs. fallback
+    /// decisions; never influences them.
+    metrics: Metrics,
 }
 
 impl EagerAllocator {
@@ -78,7 +81,15 @@ impl EagerAllocator {
             cfg,
             fill_track: None,
             avoid: None,
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Attach a metrics handle (pass `Metrics::disabled()` to detach). The
+    /// allocator records `alloc.fast_path` / `alloc.greedy_fallback` block
+    /// placements; its decisions are unaffected.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// Forbid allocations on one track (compaction victim); `None` clears.
@@ -100,9 +111,11 @@ impl EagerAllocator {
         let align = self.cfg.block_sectors;
         if self.cfg.threshold_fill {
             if let Some(c) = self.fill_candidate(disk, free, align) {
+                self.metrics.inc("alloc.fast_path");
                 return Some(c);
             }
         }
+        self.metrics.inc("alloc.greedy_fallback");
         self.greedy(disk, free, align)
     }
 

@@ -13,7 +13,7 @@
 
 use crate::log::{VirtualLog, BLOCK_SECTORS};
 use crate::mapsector::{MapFlags, UNMAPPED};
-use disksim::{PhysAddr, Result, SECTOR_BYTES};
+use disksim::{Metrics, PhysAddr, Result, SECTOR_BYTES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,6 +68,9 @@ pub struct Compactor {
     cfg: CompactorConfig,
     rng: StdRng,
     stats: CompactStats,
+    /// Metrics handle (disabled by default): rounds, tracks emptied, bytes
+    /// moved, and idle time consumed.
+    metrics: Metrics,
 }
 
 impl Compactor {
@@ -77,6 +80,7 @@ impl Compactor {
             cfg,
             rng: StdRng::seed_from_u64(cfg.seed),
             stats: CompactStats::default(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -85,10 +89,16 @@ impl Compactor {
         self.stats
     }
 
+    /// Attach a metrics handle (pass `Metrics::disabled()` to detach).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
     /// Run for at most `budget_ns` of simulated time; returns the time
     /// actually consumed. Stops early when the empty-track pool reaches its
     /// target or no suitable victim exists.
     pub fn run(&mut self, vlog: &mut VirtualLog, budget_ns: u64) -> u64 {
+        let blocks_before = self.stats.blocks_moved;
         let clock = vlog.disk().clock();
         let start = clock.now();
         let deadline = start + budget_ns;
@@ -110,6 +120,7 @@ impl Compactor {
                 Ok(true) => {
                     self.stats.tracks_emptied += 1;
                     vlog.stats.tracks_emptied += 1;
+                    self.metrics.inc("compact.tracks_emptied");
                 }
                 Ok(false) => break, // out of budget mid-track
                 Err(_) => break,    // no destination space: nothing to gain
@@ -117,6 +128,14 @@ impl Compactor {
         }
         let consumed = clock.now() - start;
         self.stats.consumed_ns += consumed;
+        if self.metrics.is_enabled() && consumed > 0 {
+            self.metrics.inc("compact.rounds");
+            self.metrics.add("compact.consumed_ns", consumed);
+            self.metrics.add(
+                "compact.bytes_moved",
+                (self.stats.blocks_moved - blocks_before) * crate::log::BLOCK_BYTES as u64,
+            );
+        }
         consumed
     }
 

@@ -101,6 +101,9 @@ pub struct VirtualLog {
     /// Which slot the next checkpoint writes to.
     ckpt_use_b: bool,
     pub(crate) stats: VlogStats,
+    /// Metrics handle (disabled by default): log-depth / pending-recycle
+    /// gauges and the map-sector chain-length histogram.
+    pub(crate) metrics: disksim::Metrics,
 }
 
 impl VirtualLog {
@@ -144,6 +147,7 @@ impl VirtualLog {
             checkpoint_seq: 0,
             ckpt_use_b: true,
             stats: VlogStats::default(),
+            metrics: disksim::Metrics::disabled(),
         }
     }
 
@@ -208,6 +212,7 @@ impl VirtualLog {
             checkpoint_seq,
             ckpt_use_b,
             stats: VlogStats::default(),
+            metrics: disksim::Metrics::disabled(),
         }
     }
 
@@ -229,6 +234,14 @@ impl VirtualLog {
     /// Activity counters.
     pub fn stats(&self) -> VlogStats {
         self.stats
+    }
+
+    /// Attach a metrics handle (pass `Metrics::disabled()` to detach).
+    /// Wired through to the eager allocator as well; the internal disk's
+    /// handle is set separately via [`Self::disk_mut`].
+    pub fn set_metrics(&mut self, metrics: disksim::Metrics) {
+        self.alloc.set_metrics(metrics.clone());
+        self.metrics = metrics;
     }
 
     /// Fraction of disk sectors in use (data + map + firmware).
@@ -603,6 +616,13 @@ impl VirtualLog {
         self.root = Some((lba, self.next_seq));
         self.next_seq += 1;
         self.stats.map_writes += 1;
+        if self.metrics.is_enabled() {
+            self.metrics.inc("vlog.map_writes");
+            self.metrics
+                .gauge("vlog.depth", (self.next_seq - self.checkpoint_seq) as i64);
+            self.metrics
+                .gauge("vlog.pending_recycle", self.pending_recycle.len() as i64);
+        }
         Ok(t)
     }
 
@@ -625,6 +645,13 @@ impl VirtualLog {
     /// slot, then recycle every superseded piece block the new checkpoint
     /// covers.
     pub fn checkpoint(&mut self) -> Result<ServiceTime> {
+        if self.metrics.is_enabled() {
+            // Chain length the checkpoint truncates: map sectors a scan
+            // recovery would have had to traverse had we crashed now.
+            self.metrics
+                .observe("vlog.chain_len", self.next_seq - self.checkpoint_seq);
+            self.metrics.inc("vlog.checkpoints");
+        }
         let ck = Checkpoint {
             seq: self.next_seq,
             pieces: self.pieces.clone(),
@@ -648,6 +675,11 @@ impl VirtualLog {
                 .expect("release of an allocated block cannot fail");
         }
         self.stats.checkpoints += 1;
+        if self.metrics.is_enabled() {
+            self.metrics
+                .gauge("vlog.depth", (self.next_seq - self.checkpoint_seq) as i64);
+            self.metrics.gauge("vlog.pending_recycle", 0);
+        }
         Ok(t)
     }
 

@@ -299,25 +299,35 @@ impl VirtualLog {
 /// cache of valid map sectors keyed by LBA, the number of sectors scanned,
 /// and the time consumed.
 fn scan_disk(disk: &mut Disk) -> Result<(HashMap<u64, MapSector>, u64, ServiceTime)> {
-    let g = disk.spec().geometry.clone();
+    // Enumerate every track's (start LBA, sectors-per-track) up front from
+    // an immutable borrow, so the read loop below can borrow the disk
+    // mutably without cloning the geometry.
+    let tracks: Vec<(u64, u32)> = {
+        let g = &disk.spec().geometry;
+        let mut v = Vec::with_capacity((g.cylinders() * g.tracks_per_cylinder()) as usize);
+        for cyl in 0..g.cylinders() {
+            let spt = g.sectors_per_track(cyl)?;
+            for track in 0..g.tracks_per_cylinder() {
+                v.push((g.track_start_lba(cyl, track)?, spt));
+            }
+        }
+        v
+    };
     let mut cache = HashMap::new();
     let mut scanned = 0u64;
     let mut service = ServiceTime::ZERO;
-    for cyl in 0..g.cylinders() {
-        let spt = g.sectors_per_track(cyl)?;
-        let mut buf = vec![0u8; spt as usize * SECTOR_BYTES];
-        for track in 0..g.tracks_per_cylinder() {
-            let start = g.track_start_lba(cyl, track)?;
-            service += disk.read_sectors(start, &mut buf)?;
-            scanned += spt as u64;
-            // Map pieces live in the first sector of 4 KB-aligned physical
-            // blocks, so only those offsets can hold one.
-            for s in (0..spt).step_by(BLOCK_SECTORS as usize) {
-                let off = s as usize * SECTOR_BYTES;
-                if off + PIECE_BYTES <= buf.len() {
-                    if let Some(m) = MapSector::decode(&buf[off..off + PIECE_BYTES]) {
-                        cache.insert(start + s as u64, m);
-                    }
+    let mut buf = Vec::new();
+    for (start, spt) in tracks {
+        buf.resize(spt as usize * SECTOR_BYTES, 0);
+        service += disk.read_sectors(start, &mut buf)?;
+        scanned += spt as u64;
+        // Map pieces live in the first sector of 4 KB-aligned physical
+        // blocks, so only those offsets can hold one.
+        for s in (0..spt).step_by(BLOCK_SECTORS as usize) {
+            let off = s as usize * SECTOR_BYTES;
+            if off + PIECE_BYTES <= buf.len() {
+                if let Some(m) = MapSector::decode(&buf[off..off + PIECE_BYTES]) {
+                    cache.insert(start + s as u64, m);
                 }
             }
         }

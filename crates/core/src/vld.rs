@@ -28,7 +28,10 @@ use crate::alloc::AllocConfig;
 use crate::compact::{Compactor, CompactorConfig};
 use crate::log::{VirtualLog, BLOCK_BYTES};
 use crate::recovery::RecoveryReport;
-use disksim::{BlockDevice, CachePolicy, Disk, DiskSpec, DiskStats, Result, ServiceTime, SimClock};
+use disksim::{
+    BlockDevice, CachePolicy, Disk, DiskSpec, DiskStats, Metrics, Result, ServiceTime, SimClock,
+    Tracer,
+};
 
 /// Configuration for a [`Vld`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,6 +138,18 @@ impl Vld {
     /// The configuration in force.
     pub fn config(&self) -> &VldConfig {
         &self.cfg
+    }
+
+    /// Attach an event tracer and metrics handle to the whole VLD stack:
+    /// the internal disk (per-op trace events and latency histograms), the
+    /// virtual log (depth/chain gauges), the eager allocator (fast-path
+    /// counters) and the compactor. Pass `None` / `Metrics::disabled()` to
+    /// detach.
+    pub fn set_observability(&mut self, tracer: Option<Tracer>, metrics: Metrics) {
+        self.vlog.disk_mut().set_tracer(tracer);
+        self.vlog.disk_mut().set_metrics(metrics.clone());
+        self.vlog.set_metrics(metrics.clone());
+        self.compactor.set_metrics(metrics);
     }
 
     /// Write several logical blocks as a single atomic transaction (one

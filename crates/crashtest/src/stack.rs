@@ -206,6 +206,33 @@ mod tests {
         }
     }
 
+    /// A tracer attached to the fault layer sees every injected fault as an
+    /// [`disksim::OpKind::Fault`] event with a zero service-time breakdown.
+    #[test]
+    fn injected_faults_surface_in_the_trace() {
+        let clock = SimClock::new();
+        let host = HostModel::instant();
+        let raw = RegularDisk::new(spec(), clock, BLOCK);
+        // Silent corruption: the op still succeeds, so the workload runs to
+        // completion (the corrupted block stays shadowed by the cache).
+        let mut faulty = FaultDisk::new(Box::new(raw), disksim::FaultPlan::corrupt_write(2, 42));
+        let tracer = disksim::Tracer::with_capacity(1 << 16);
+        faulty.set_tracer(Some(tracer.clone()));
+        let mut fs = Ufs::format(Box::new(faulty), host, ufs_cfg()).expect("format");
+        apply(&mut fs, &Workload::small_mixed().ops).expect("workload");
+        let faults: Vec<_> = tracer
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == disksim::OpKind::Fault)
+            .collect();
+        assert_eq!(faults.len(), 1, "exactly the armed fault is traced");
+        assert_eq!(
+            faults[0].total_ns(),
+            0,
+            "fault events must not perturb busy-sum accounting"
+        );
+    }
+
     /// The device-write count is a pure function of (stack, workload):
     /// rerunning measures the same `W` — the property the whole crash-point
     /// naming scheme rests on.

@@ -13,6 +13,8 @@
 
 use std::collections::HashMap;
 
+use obs::{Metrics, OpKind, TraceEvent, Tracer};
+
 use crate::cache::{CachePolicy, TrackCache};
 use crate::clock::SimClock;
 use crate::error::{DiskError, Result};
@@ -103,6 +105,10 @@ pub struct Disk {
     stats: DiskStats,
     /// Precomputed seek curve (one entry per cylinder distance).
     seek: SeekTable,
+    /// Optional event tracer; `None` costs a single branch per op.
+    tracer: Option<Tracer>,
+    /// Metrics handle; disabled by default (no-op after one branch).
+    metrics: Metrics,
 }
 
 impl Disk {
@@ -119,6 +125,65 @@ impl Disk {
             cache: TrackCache::new(CachePolicy::Conservative),
             stats: DiskStats::default(),
             seek,
+            tracer: None,
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Attach (or detach, with `None`) an event tracer. Every timed
+    /// operation that accumulates into [`DiskStats::busy`] emits exactly
+    /// one [`TraceEvent`] carrying the same [`ServiceTime`] breakdown, so
+    /// the component sums of a complete trace equal the busy totals.
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Attach a metrics handle (pass `Metrics::disabled()` to detach).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// Record one completed operation to the tracer and metrics.
+    fn observe_op(&self, kind: OpKind, lba: u64, sectors: u32, loc: (u32, u32, u32), seek_cyls: u32, st: ServiceTime) {
+        if let Some(tr) = &self.tracer {
+            tr.record(TraceEvent {
+                at_ns: self.clock.now(),
+                kind,
+                scope: 0,
+                lba,
+                sectors,
+                cyl: loc.0,
+                track: loc.1,
+                sector: loc.2,
+                seek_cyls,
+                overhead_ns: st.overhead_ns,
+                seek_ns: st.seek_ns,
+                head_switch_ns: st.head_switch_ns,
+                rotation_ns: st.rotation_ns,
+                transfer_ns: st.transfer_ns,
+            });
+        }
+        if self.metrics.is_enabled() {
+            match kind {
+                OpKind::Read => {
+                    self.metrics.inc("disk.reads");
+                    self.metrics.observe("disk.read_ns", st.total_ns());
+                }
+                OpKind::Write => {
+                    self.metrics.inc("disk.writes");
+                    self.metrics.observe("disk.write_ns", st.total_ns());
+                }
+                OpKind::Seek | OpKind::Fault => {
+                    self.metrics.inc("disk.seeks");
+                    self.metrics.observe("disk.seek_ns", st.total_ns());
+                }
+            }
+            self.metrics.observe("disk.seek_cyls", seek_cyls as u64);
         }
     }
 
@@ -344,6 +409,7 @@ impl Disk {
             ..ServiceTime::ZERO
         };
         self.clock.advance(self.spec.command_overhead_ns);
+        let from_cyl = self.cur_cyl;
         let mut off = 0usize;
         for run in &runs {
             let part = &mut buf[off..off + run.count as usize * SECTOR_BYTES];
@@ -371,6 +437,15 @@ impl Disk {
         self.stats.reads += 1;
         self.stats.sectors_read += count as u64;
         self.stats.busy += total;
+        let r0 = runs[0];
+        self.observe_op(
+            OpKind::Read,
+            lba,
+            count,
+            (r0.cyl, r0.track, r0.sector),
+            from_cyl.abs_diff(self.cur_cyl),
+            total,
+        );
         Ok(total)
     }
 
@@ -388,6 +463,7 @@ impl Disk {
             ..ServiceTime::ZERO
         };
         self.clock.advance(self.spec.command_overhead_ns);
+        let from_cyl = self.cur_cyl;
         let mut off = 0usize;
         for run in &runs {
             let st = self.plan_run(run, self.cur_cyl, self.cur_track, self.clock.now());
@@ -404,6 +480,15 @@ impl Disk {
         self.stats.writes += 1;
         self.stats.sectors_written += count as u64;
         self.stats.busy += total;
+        let r0 = runs[0];
+        self.observe_op(
+            OpKind::Write,
+            lba,
+            count,
+            (r0.cyl, r0.track, r0.sector),
+            from_cyl.abs_diff(self.cur_cyl),
+            total,
+        );
         Ok(total)
     }
 
@@ -457,10 +542,12 @@ impl Disk {
             head_switch_ns: if seek >= switch { 0 } else { switch },
             ..ServiceTime::ZERO
         };
+        let seek_cyls = self.cur_cyl.abs_diff(cyl);
         self.clock.advance(st.total_ns());
         self.cur_cyl = cyl;
         self.cur_track = track;
         self.stats.busy += st;
+        self.observe_op(OpKind::Seek, 0, 0, (cyl, track, 0), seek_cyls, st);
         Ok(st)
     }
 

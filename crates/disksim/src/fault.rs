@@ -29,6 +29,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use obs::{OpKind, TraceEvent, Tracer};
+
 use crate::clock::SimClock;
 use crate::device::BlockDevice;
 use crate::disk::DiskStats;
@@ -158,6 +160,9 @@ pub struct FaultDisk {
     log: FaultLog,
     /// Block → content hash of its last acknowledged write.
     acked: HashMap<u64, u64>,
+    /// Optional event tracer; injected faults are recorded as
+    /// [`OpKind::Fault`] events with a zero service-time breakdown.
+    tracer: Option<Tracer>,
 }
 
 impl FaultDisk {
@@ -171,6 +176,35 @@ impl FaultDisk {
             powered_off: false,
             log: FaultLog::default(),
             acked: HashMap::new(),
+            tracer: None,
+        }
+    }
+
+    /// Attach (or detach) an event tracer; each injected fault emits one
+    /// [`OpKind::Fault`] event (faults consume no simulated time, so the
+    /// breakdown fields are zero and busy-sum invariants are unaffected).
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    fn trace_fault(&self, block: u64, sectors: u32) {
+        if let Some(tr) = &self.tracer {
+            tr.record(TraceEvent {
+                at_ns: self.inner.clock().now(),
+                kind: OpKind::Fault,
+                scope: 0,
+                lba: block,
+                sectors,
+                cyl: 0,
+                track: 0,
+                sector: 0,
+                seek_cyls: 0,
+                overhead_ns: 0,
+                seek_ns: 0,
+                head_switch_ns: 0,
+                rotation_ns: 0,
+                transfer_ns: 0,
+            });
         }
     }
 
@@ -227,6 +261,7 @@ impl FaultDisk {
             }
             Some(WriteFault::Transient) => {
                 self.log.transients += 1;
+                self.trace_fault(block, (buf.len() / SECTOR_BYTES) as u32);
                 Err(DiskError::Transient)
             }
             Some(WriteFault::Corrupt { seed }) => {
@@ -240,6 +275,7 @@ impl FaultDisk {
                 }
                 self.log.corruptions += 1;
                 self.acked_ops += 1;
+                self.trace_fault(block, (buf.len() / SECTOR_BYTES) as u32);
                 self.inner.write_block(block, &bad)
                 // The op is acknowledged (the caller saw success) but its
                 // content hash is deliberately not: the caller was lied to.
@@ -249,6 +285,7 @@ impl FaultDisk {
                 self.log.power_cuts += 1;
                 let spb = (buf.len() / SECTOR_BYTES) as u32;
                 let survivors = survivors.min(spb);
+                self.trace_fault(block, survivors);
                 if survivors > 0 {
                     // A torn write: blend the new prefix over the block's
                     // old contents, sector-granular, and let that reach the

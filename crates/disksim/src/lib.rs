@@ -50,6 +50,10 @@ pub use sched::SchedPolicy;
 pub use service::ServiceTime;
 pub use spec::DiskSpec;
 
+// Observability types, re-exported so device consumers need not depend on
+// `obs` directly.
+pub use obs::{Metrics, OpKind, TraceEvent, Tracer};
+
 /// Size of the smallest addressable unit, in bytes (both paper disks use
 /// 512-byte sectors).
 pub const SECTOR_BYTES: usize = 512;

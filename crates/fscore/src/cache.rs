@@ -233,23 +233,46 @@ impl BufferCache {
         Some((b.data, b.dirty))
     }
 
-    /// Snapshot all dirty blocks in ascending block order (the elevator
-    /// order UFS flushes in) and mark them clean.
-    pub fn take_dirty_sorted(&mut self) -> Vec<(u64, Vec<u8>)> {
-        let mut out: Vec<(u64, Vec<u8>)> = self
-            .map
-            .iter_mut()
-            .filter(|(_, b)| b.dirty)
-            .map(|(k, b)| {
-                b.dirty = false;
-                (*k, b.data.clone())
-            })
-            .collect();
-        out.sort_by_key(|(k, _)| *k);
+    /// Snapshot the dirty block numbers in ascending block order (the
+    /// elevator order UFS flushes in) and mark them all clean. Payloads
+    /// stay in the cache — read them with [`BufferCache::peek`] while
+    /// writing back; returning keys instead of cloned data keeps the flush
+    /// path free of per-block payload copies.
+    pub fn take_dirty_sorted(&mut self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::with_capacity(self.dirty_lru.len());
         // Everything dirty is now clean; recency (the ticks) is unchanged.
-        let drained = std::mem::take(&mut self.dirty_lru);
-        self.clean_lru.extend(drained);
+        for (tick, block) in std::mem::take(&mut self.dirty_lru) {
+            self.map
+                .get_mut(&block)
+                .expect("indexed block exists")
+                .dirty = false;
+            self.clean_lru.insert(tick, block);
+            out.push(block);
+        }
+        out.sort_unstable();
         out
+    }
+
+    /// Borrow a block's payload without touching LRU or the hit counters.
+    pub fn peek(&self, block: u64) -> Option<&[u8]> {
+        self.map.get(&block).map(|b| b.data.as_slice())
+    }
+
+    /// Re-mark a cached block dirty without touching its recency — the
+    /// put-back path for blocks whose write-back failed or ran out of idle
+    /// budget. Returns false if the block is no longer cached.
+    pub fn mark_dirty(&mut self, block: u64) -> bool {
+        match self.map.get_mut(&block) {
+            Some(b) => {
+                if !b.dirty {
+                    b.dirty = true;
+                    self.clean_lru.remove(&b.lru);
+                    self.dirty_lru.insert(b.lru, block);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Drop every clean block (a benchmark "cache flush"); dirty blocks
@@ -307,12 +330,19 @@ mod tests {
         c.insert(9, vec![0; 4], true);
         assert_eq!(c.dirty_count(), 2);
         let dirty = c.take_dirty_sorted();
-        assert_eq!(
-            dirty.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
-            vec![5, 9]
-        );
+        assert_eq!(dirty, vec![5, 9]);
         assert_eq!(c.dirty_count(), 0);
         assert_eq!(c.len(), 3, "flush keeps blocks cached, now clean");
+        // Payloads stayed cached and are reachable without an LRU touch.
+        let (hits, misses) = c.stats();
+        assert!(c.peek(5).is_some());
+        assert_eq!(c.stats(), (hits, misses), "peek must not touch counters");
+        // Put-back restores dirtiness in place; unknown blocks report false.
+        assert!(c.mark_dirty(9));
+        assert_eq!(c.dirty_count(), 1);
+        assert!(c.mark_dirty(9), "already-dirty is idempotent");
+        assert_eq!(c.dirty_count(), 1);
+        assert!(!c.mark_dirty(777));
     }
 
     #[test]

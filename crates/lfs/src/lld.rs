@@ -93,6 +93,10 @@ pub struct LogDisk {
     /// Global data slot → logical owner if live.
     rmap: Vec<u32>,
     seg_state: Vec<SegState>,
+    /// Running count of `SegState::Free` entries in `seg_state`, kept in
+    /// lockstep with every transition so `free_segments()` (called on the
+    /// append hot path) is O(1) instead of O(nsegs).
+    free_count: u32,
     seg_live: Vec<u32>,
     open: Option<OpenSeg>,
     /// Next segment to consider when acquiring a free one (log order).
@@ -112,6 +116,9 @@ pub struct LogDisk {
     /// crash mid-checkpoint always leaves the other slot intact).
     ckpt_next_b: bool,
     stats: CleanerStats,
+    /// Metrics handle (disabled by default): cleaner counters, free-segment
+    /// gauge and log utilisation.
+    metrics: disksim::Metrics,
 }
 
 impl LogDisk {
@@ -149,6 +156,7 @@ impl LogDisk {
             map: vec![NONE; logical as usize],
             rmap: vec![NONE; (nsegs as u64 * SEG_DATA) as usize],
             seg_state: vec![SegState::Free; nsegs as usize],
+            free_count: nsegs,
             seg_live: vec![0; nsegs as usize],
             open: None,
             next_seg: 0,
@@ -159,6 +167,7 @@ impl LogDisk {
             pending_free: Vec::new(),
             ckpt_next_b: false,
             stats: CleanerStats::default(),
+            metrics: disksim::Metrics::disabled(),
         };
         lld.write_checkpoint()?;
         Ok(lld)
@@ -299,7 +308,7 @@ impl LogDisk {
                 seg_live[seg as usize] += 1;
             }
         }
-        let seg_state = seg_live
+        let seg_state: Vec<SegState> = seg_live
             .iter()
             .map(|&l| {
                 if l > 0 {
@@ -309,6 +318,7 @@ impl LogDisk {
                 }
             })
             .collect();
+        let free_count = seg_state.iter().filter(|s| **s == SegState::Free).count() as u32;
         Ok(LogDisk {
             dev,
             cfg,
@@ -318,6 +328,7 @@ impl LogDisk {
             map,
             rmap,
             seg_state,
+            free_count,
             seg_live,
             open: None,
             next_seg: 0,
@@ -328,6 +339,7 @@ impl LogDisk {
             pending_free: Vec::new(),
             ckpt_next_b,
             stats: CleanerStats::default(),
+            metrics: disksim::Metrics::disabled(),
         })
     }
 
@@ -336,12 +348,41 @@ impl LogDisk {
         self.stats
     }
 
-    /// Free (immediately writable) segments.
+    /// Attach a metrics handle (pass `Metrics::disabled()` to detach). The
+    /// log records cleaner counters (`lld.segments_cleaned`,
+    /// `lld.blocks_copied`, on-demand vs. idle passes), a `lld.victim_live`
+    /// histogram, and free-segment / utilisation gauges.
+    pub fn set_metrics(&mut self, metrics: disksim::Metrics) {
+        self.metrics = metrics;
+        self.update_gauges();
+    }
+
+    /// Refresh the slow-moving gauges; called from cold paths only (the
+    /// cleaner and idle), never per append.
+    fn update_gauges(&self) {
+        if self.metrics.is_enabled() {
+            self.metrics
+                .gauge("lld.free_segments", self.free_count as i64);
+            let live: u64 = self.seg_live.iter().map(|&l| l as u64).sum();
+            let cap = self.nsegs as u64 * SEG_DATA;
+            self.metrics
+                .gauge("lld.utilization_pct", (live * 100 / cap.max(1)) as i64);
+        }
+    }
+
+    /// Free (immediately writable) segments. O(1): the count is maintained
+    /// across state transitions (the recount below validates it in debug
+    /// builds only).
     pub fn free_segments(&self) -> u32 {
-        self.seg_state
-            .iter()
-            .filter(|s| **s == SegState::Free)
-            .count() as u32
+        debug_assert_eq!(
+            self.free_count,
+            self.seg_state
+                .iter()
+                .filter(|s| **s == SegState::Free)
+                .count() as u32,
+            "free_count out of sync with seg_state"
+        );
+        self.free_count
     }
 
     /// Total segments in the log.
@@ -407,6 +448,7 @@ impl LogDisk {
                 return Err(FsError::NoSpace);
             }
             self.stats.on_demand += 1;
+            self.metrics.inc("lld.clean_on_demand");
             self.clean_some(2)?;
         }
         Err(FsError::NoSpace)
@@ -416,6 +458,7 @@ impl LogDisk {
         if self.open.is_none() {
             let seg = self.acquire_segment()?;
             self.seg_state[seg as usize] = SegState::Open;
+            self.free_count -= 1;
             self.open = Some(OpenSeg {
                 seg,
                 summary: Summary::empty(),
@@ -454,6 +497,7 @@ impl LogDisk {
         // recursing here.
         if !self.cleaning && self.free_segments() <= 2 {
             self.stats.on_demand += 1;
+            self.metrics.inc("lld.clean_on_demand");
             let _ = self.clean_some(2);
         }
         Ok(())
@@ -481,6 +525,7 @@ impl LogDisk {
                     // the open segment holding the overwrites cannot itself
                     // be recycled before it seals (and thus is durable).
                     self.seg_state[seg as usize] = SegState::Free;
+                    self.free_count += 1;
                 }
             }
         }
@@ -514,6 +559,7 @@ impl LogDisk {
         for seg in self.pending_free.drain(..) {
             if self.seg_live[seg as usize] == 0 && self.seg_state[seg as usize] == SegState::Dirty {
                 self.seg_state[seg as usize] = SegState::Free;
+                self.free_count += 1;
             }
         }
     }
@@ -555,6 +601,7 @@ impl LogDisk {
         self.seg_state[open.seg as usize] = if self.seg_live[open.seg as usize] > 0 {
             SegState::Dirty
         } else {
+            self.free_count += 1;
             SegState::Free
         };
         Ok(())
@@ -647,6 +694,10 @@ impl LogDisk {
     }
 
     fn clean_segment(&mut self, victim: u32) -> FsResult<()> {
+        if self.metrics.is_enabled() {
+            self.metrics
+                .observe("lld.victim_live", self.seg_live[victim as usize] as u64);
+        }
         let live: Vec<(u32, u32)> = (0..SEG_DATA as u32)
             .filter_map(|idx| {
                 let slot = seg_to_slot(victim, idx);
@@ -686,6 +737,7 @@ impl LogDisk {
             }
             r?;
             self.stats.blocks_copied += 1;
+            self.metrics.inc("lld.blocks_copied");
         }
         self.cleaning = false;
         debug_assert_eq!(self.seg_live[victim as usize], 0);
@@ -695,6 +747,10 @@ impl LogDisk {
         }
         self.flush_open_now()?;
         self.stats.segments_cleaned += 1;
+        if self.metrics.is_enabled() {
+            self.metrics.inc("lld.segments_cleaned");
+            self.update_gauges();
+        }
         Ok(())
     }
 }
@@ -766,10 +822,12 @@ impl BlockDevice for LogDisk {
                 break;
             }
             self.stats.during_idle += 1;
+            self.metrics.inc("lld.clean_during_idle");
             if self.clean_some(1).unwrap_or(0) == 0 {
                 break;
             }
         }
+        self.update_gauges();
         clock.now() - start
     }
 

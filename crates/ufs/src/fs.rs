@@ -96,6 +96,8 @@ pub struct Ufs {
     /// Moving allocation hint within the data region.
     alloc_hint: u64,
     sync_data: bool,
+    /// Observability sink (disabled by default — a single branch per use).
+    metrics: disksim::Metrics,
 }
 
 impl Ufs {
@@ -123,6 +125,7 @@ impl Ufs {
             seq_state: HashMap::new(),
             alloc_hint: 0,
             sync_data: cfg.sync_data,
+            metrics: disksim::Metrics::default(),
         };
         // Superblock, root inode, bitmaps.
         fs.dev.write_block(0, &layout.encode())?;
@@ -173,6 +176,7 @@ impl Ufs {
             seq_state: HashMap::new(),
             alloc_hint: 0,
             sync_data: cfg.sync_data,
+            metrics: disksim::Metrics::default(),
         };
         fs.load_directories()?;
         Ok(fs)
@@ -196,6 +200,24 @@ impl Ufs {
     /// The computed on-disk layout.
     pub fn layout(&self) -> &Layout {
         &self.layout
+    }
+
+    /// Attach a metrics registry; buffer-cache hit/miss/dirty gauges are
+    /// refreshed on flush and idle (cold paths only).
+    pub fn set_metrics(&mut self, metrics: disksim::Metrics) {
+        self.metrics = metrics;
+        self.update_cache_gauges();
+    }
+
+    /// Refresh the cache gauges from the buffer cache's own counters.
+    fn update_cache_gauges(&self) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let (hits, misses) = self.cache.stats();
+        self.metrics.gauge("ufs.cache_hits", hits as i64);
+        self.metrics.gauge("ufs.cache_misses", misses as i64);
+        self.metrics.gauge("ufs.cache_dirty", self.cache.dirty_count() as i64);
     }
 
     // ----- low-level block helpers ------------------------------------
@@ -590,16 +612,19 @@ impl Ufs {
         let mut i = 0;
         while i < dirty.len() {
             let mut j = i + 1;
-            while j < dirty.len() && dirty[j].0 == dirty[j - 1].0 + 1 {
+            while j < dirty.len() && dirty[j] == dirty[j - 1] + 1 {
                 j += 1;
             }
-            let run: Vec<u8> = dirty[i..j]
-                .iter()
-                .flat_map(|(_, d)| d.iter().copied())
-                .collect();
-            self.dev.write_blocks(dirty[i].0, &run)?;
+            // Assemble the cluster straight out of the cache — the payloads
+            // were never cloned out of it.
+            let mut run = Vec::with_capacity((j - i) * BLOCK_SIZE);
+            for &blk in &dirty[i..j] {
+                run.extend_from_slice(self.cache.peek(blk).expect("flushed block cached"));
+            }
+            self.dev.write_blocks(dirty[i], &run)?;
             i = j;
         }
+        self.update_cache_gauges();
         Ok(())
     }
 
@@ -851,24 +876,23 @@ impl FileSystem for Ufs {
             // and the foreground runs at memory speed.
             while clock.now() < end && self.cache.dirty_count() > 0 {
                 let dirty = self.cache.take_dirty_sorted();
-                let mut put_back = Vec::new();
-                for (blk, data) in dirty {
+                for blk in dirty {
                     if clock.now() >= end {
-                        put_back.push((blk, data));
+                        // Out of idle budget: re-dirty in place, no copy.
+                        self.cache.mark_dirty(blk);
                         continue;
                     }
                     self.host.charge(&clock, 1);
-                    if self.dev.write_block(blk, &data).is_err() {
-                        put_back.push((blk, data));
+                    let data = self.cache.peek(blk).expect("flushed block cached");
+                    if self.dev.write_block(blk, data).is_err() {
+                        self.cache.mark_dirty(blk);
                     }
-                }
-                for (blk, data) in put_back {
-                    self.cache.insert(blk, data, true);
                 }
                 if clock.now() >= end {
                     break;
                 }
             }
+            self.update_cache_gauges();
         }
         let remaining = end.saturating_sub(clock.now());
         fscore::fs::grant_idle(self.dev.as_mut(), remaining);
