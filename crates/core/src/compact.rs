@@ -71,6 +71,14 @@ pub struct Compactor {
     /// Metrics handle (disabled by default): rounds, tracks emptied, bytes
     /// moved, and idle time consumed.
     metrics: Metrics,
+    /// Victim whose track was partially compacted when the idle budget
+    /// expired; the next [`Compactor::run`] resumes it (re-validated
+    /// against the current free map) instead of re-picking from scratch.
+    pending_victim: Option<(u32, u32)>,
+    /// Sectors per track of cylinder 0, cached across runs for the
+    /// achievable-target computation (geometry never changes). Zero until
+    /// first use.
+    spt0: u64,
 }
 
 impl Compactor {
@@ -81,6 +89,8 @@ impl Compactor {
             rng: StdRng::seed_from_u64(cfg.seed),
             stats: CompactStats::default(),
             metrics: Metrics::disabled(),
+            pending_victim: None,
+            spt0: 0,
         }
     }
 
@@ -104,14 +114,25 @@ impl Compactor {
         let deadline = start + budget_ns;
         // The pool can never exceed the free space; chasing a larger target
         // would repack the same data forever.
-        let spt0 = vlog.free_map().sectors_per_track(0) as u64;
-        let achievable = (vlog.free_map().free_sectors() / spt0).saturating_sub(2) as u32;
+        if self.spt0 == 0 {
+            self.spt0 = vlog.free_map().sectors_per_track(0) as u64;
+        }
+        let achievable = (vlog.free_map().free_sectors() / self.spt0).saturating_sub(2) as u32;
         let target = self.cfg.target_empty_tracks.min(achievable);
         while clock.now() < deadline {
             if vlog.free_map().empty_tracks() >= target {
                 break;
             }
-            let Some(victim) = self.choose_victim(vlog) else {
+            // Resume the track the previous idle grant left half-compacted,
+            // if it still holds live data and hasn't become the fill track.
+            let resumed = self
+                .pending_victim
+                .take()
+                .filter(|&(c, t)| Self::victim_eligible(vlog, c, t));
+            if resumed.is_some() {
+                self.metrics.inc("compact.victims_resumed");
+            }
+            let Some(victim) = resumed.or_else(|| self.choose_victim(vlog)) else {
                 break;
             };
             let outcome = self.compact_track(vlog, victim, deadline);
@@ -122,8 +143,13 @@ impl Compactor {
                     vlog.stats.tracks_emptied += 1;
                     self.metrics.inc("compact.tracks_emptied");
                 }
-                Ok(false) => break, // out of budget mid-track
-                Err(_) => break,    // no destination space: nothing to gain
+                Ok(false) => {
+                    // Out of budget mid-track: carry the victim over to the
+                    // next run (the moves already made are committed).
+                    self.pending_victim = Some(victim);
+                    break;
+                }
+                Err(_) => break, // no destination space: nothing to gain
             }
         }
         let consumed = clock.now() - start;
@@ -141,40 +167,45 @@ impl Compactor {
 
     /// Pick a victim track containing live data (or live map sectors), per
     /// policy. Never picks the allocator's current fill track.
+    ///
+    /// `Random` rejection-samples eligible tracks exactly as before (O(1)
+    /// on any non-sparse disk); its sparse-disk fallback and the whole
+    /// `LeastUtilized` policy go through the free map's utilization index —
+    /// O(1) amortized instead of a `cylinders × tracks` scan per round.
+    /// `VLFS_REFERENCE=1` (and the equivalence tests) route the pick
+    /// through [`reference::least_utilized_rescan`] instead.
     fn choose_victim(&mut self, vlog: &VirtualLog) -> Option<(u32, u32)> {
         let free = vlog.free_map();
         let cyls = free.cylinders();
         let tracks = free.tracks_in_cylinder();
-        let fill = vlog.alloc.fill_track();
-        let eligible = |c: u32, t: u32| {
-            let ti = free.track_index(c, t);
-            let spt = free.sectors_per_track(ti);
-            let used = spt - free.free_in_track(c, t);
-            used > 0 && Some((c, t)) != fill && !Self::is_firmware_track(c, t)
-        };
-        match self.cfg.policy {
-            VictimPolicy::Random => {
-                for _ in 0..256 {
-                    let c = self.rng.gen_range(0..cyls);
-                    let t = self.rng.gen_range(0..tracks);
-                    if eligible(c, t) {
-                        return Some((c, t));
-                    }
+        if self.cfg.policy == VictimPolicy::Random {
+            for _ in 0..256 {
+                let c = self.rng.gen_range(0..cyls);
+                let t = self.rng.gen_range(0..tracks);
+                if Self::victim_eligible(vlog, c, t) {
+                    return Some((c, t));
                 }
-                // Sparse disk: fall back to a scan.
-                (0..cyls)
-                    .flat_map(|c| (0..tracks).map(move |t| (c, t)))
-                    .find(|&(c, t)| eligible(c, t))
             }
-            VictimPolicy::LeastUtilized => (0..cyls)
-                .flat_map(|c| (0..tracks).map(move |t| (c, t)))
-                .filter(|&(c, t)| eligible(c, t))
-                .min_by(|&(c1, t1), &(c2, t2)| {
-                    free.track_utilization(c1, t1)
-                        .partial_cmp(&free.track_utilization(c2, t2))
-                        .expect("utilisations are finite")
-                }),
+            // Sparse disk: fall back to the deterministic indexed pick.
         }
+        if disksim::reference_mode() {
+            reference::least_utilized_rescan(vlog)
+        } else {
+            self.metrics.inc("compact.victim_index_picks");
+            let fill = vlog.alloc.fill_track();
+            free.least_utilized_nonempty(|c, t| {
+                Some((c, t)) == fill || Self::is_firmware_track(c, t)
+            })
+        }
+    }
+
+    /// Is (`cyl`, `track`) a permissible victim right now: holds live data,
+    /// is not the allocator's fill track, and is not the firmware track.
+    fn victim_eligible(vlog: &VirtualLog, c: u32, t: u32) -> bool {
+        let free = vlog.free_map();
+        let ti = free.track_index(c, t);
+        let used = free.sectors_per_track(ti) - free.free_in_track(c, t);
+        used > 0 && Some((c, t)) != vlog.alloc.fill_track() && !Self::is_firmware_track(c, t)
     }
 
     fn is_firmware_track(cyl: u32, track: u32) -> bool {
@@ -275,6 +306,38 @@ impl Compactor {
         }
         vlog.alloc.set_avoid(None);
         Ok(vlog.free_map().free_in_track(vc, vt) == spt)
+    }
+}
+
+/// The pre-index full-rescan victim picker, retained as the oracle the
+/// utilization-indexed pick is verified against (same pattern as
+/// `alloc::reference`): it walks every `(cyl, track)` pair and takes the
+/// first minimum of the f64 utilization. `VLFS_REFERENCE=1` routes
+/// [`Compactor`] victim selection through here so CI can diff figure
+/// output byte-for-byte between the two implementations.
+pub mod reference {
+    use crate::log::VirtualLog;
+
+    /// Least-utilized eligible track by exhaustive scan in `(cyl, track)`
+    /// order, first minimum wins — exactly the pre-index `LeastUtilized`
+    /// pick (and the sparse-disk fallback of `Random`).
+    pub fn least_utilized_rescan(vlog: &VirtualLog) -> Option<(u32, u32)> {
+        let free = vlog.free_map();
+        let fill = vlog.alloc.fill_track();
+        let cyls = free.cylinders();
+        let tracks = free.tracks_in_cylinder();
+        (0..cyls)
+            .flat_map(|c| (0..tracks).map(move |t| (c, t)))
+            .filter(|&(c, t)| {
+                let ti = free.track_index(c, t);
+                let used = free.sectors_per_track(ti) - free.free_in_track(c, t);
+                used > 0 && Some((c, t)) != fill && !(c == 0 && t == 0)
+            })
+            .min_by(|&(c1, t1), &(c2, t2)| {
+                free.track_utilization(c1, t1)
+                    .partial_cmp(&free.track_utilization(c2, t2))
+                    .expect("utilisations are finite")
+            })
     }
 }
 
@@ -502,6 +565,75 @@ mod tests {
             ..CompactorConfig::default()
         });
         assert_eq!(c.run(&mut v, 1_000_000_000), 0, "pool already at target");
+    }
+
+    /// The O(1) indexed victim pick returns exactly what the retained
+    /// full-rescan oracle returns, across random write / overwrite /
+    /// compaction interleavings (the alloc/free/clean churn the index must
+    /// track incrementally).
+    #[test]
+    fn indexed_victim_pick_matches_rescan_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut v = fresh();
+        let mut c = Compactor::new(CompactorConfig {
+            policy: VictimPolicy::LeastUtilized,
+            target_empty_tracks: u32::MAX,
+            seed: 3,
+        });
+        let mut rng = StdRng::seed_from_u64(0x5617);
+        let n = v.num_blocks();
+        let buf = vec![0x55u8; crate::log::BLOCK_BYTES];
+        for round in 0..40 {
+            // A burst of writes/overwrites (allocs + frees), then sometimes
+            // a budgeted compaction slice (cleaning).
+            for _ in 0..rng.gen_range(5..60) {
+                let lb = rng.gen_range(0..n / 2);
+                v.write(lb, &buf).unwrap();
+            }
+            if rng.gen_bool(0.4) {
+                c.run(&mut v, rng.gen_range(0..40_000_000u64));
+            }
+            assert_eq!(
+                c.choose_victim(&v),
+                reference::least_utilized_rescan(&v),
+                "round {round}"
+            );
+        }
+    }
+
+    /// A budget expiry mid-track carries the victim into the next run
+    /// instead of re-picking, and the resumed run finishes the track.
+    #[test]
+    fn partial_track_progress_resumes_across_runs() {
+        let mut v = fresh();
+        fill_fraction(&mut v, 0.5);
+        let buf = vec![0x66u8; crate::log::BLOCK_BYTES];
+        for lb in (0..v.num_blocks() / 2).step_by(2) {
+            v.write(lb, &buf).unwrap();
+        }
+        let mut c = Compactor::new(CompactorConfig {
+            target_empty_tracks: u32::MAX,
+            ..CompactorConfig::default()
+        });
+        // Grant slivers of idle time until one expires mid-track.
+        let mut carried = None;
+        for _ in 0..200 {
+            c.run(&mut v, 3_000_000);
+            if let Some(vic) = c.pending_victim {
+                carried = Some(vic);
+                break;
+            }
+        }
+        let vic = carried.expect("some 3 ms grant should expire mid-track");
+        // The next grant must pick up the same track, not start elsewhere.
+        let m = disksim::Metrics::enabled();
+        c.set_metrics(m.clone());
+        c.run(&mut v, 2_000_000_000);
+        assert!(
+            m.counter_value("compact.victims_resumed") >= 1,
+            "victim {vic:?} was not resumed"
+        );
     }
 
     #[test]

@@ -11,12 +11,21 @@
 //! The map is an in-memory structure; after a crash it is reconstructed from
 //! the recovered indirection map (everything not live is free).
 
+use std::collections::BTreeSet;
+
 use disksim::{Geometry, Result};
 
 /// The block alignment the hierarchical index tracks exactly: the paper's
 /// 4 KB block is 8 sectors, and 8 divides the 64-bit bitmap word, so an
 /// aligned slot is one byte of a word.
 pub const INDEX_ALIGN: u32 = 8;
+
+/// Fixed-point scale of the utilization-index key. Two distinct track
+/// utilizations `a/s1 != b/s2` differ by at least `1/(s1*s2)`, so with
+/// `s <= 2^(SHIFT/2)` sectors per track the scaled keys differ by ≥ 1 and
+/// integer truncation preserves the exact rational order (equal fractions
+/// still collide, which is what the track-index tie-break is for).
+const UTIL_KEY_SHIFT: u32 = 20;
 
 /// Bitmapped free-sector map over an entire disk.
 #[derive(Debug, Clone)]
@@ -43,6 +52,12 @@ pub struct FreeMap {
     cyl_aligned: Vec<u32>,
     /// Completely empty tracks per cylinder.
     cyl_empty: Vec<u32>,
+    /// Utilization-ordered index of the *non-empty* tracks:
+    /// `(util_key, global track index)`, maintained incrementally by
+    /// [`FreeMap::set`]. `first()` is the least-utilized track holding live
+    /// data, with ties resolved to the lowest track index — the same answer
+    /// a full `(cyl, track)` scan taking the first minimum would give.
+    occ_by_util: BTreeSet<(u64, u32)>,
 }
 
 impl FreeMap {
@@ -92,7 +107,16 @@ impl FreeMap {
             aligned_free,
             cyl_aligned,
             cyl_empty: vec![tracks_per_cyl; n_cyls],
+            occ_by_util: BTreeSet::new(),
         }
+    }
+
+    /// Fixed-point utilization key of a track with `free` of `spt` sectors
+    /// free; see [`UTIL_KEY_SHIFT`] for why truncation is order-exact.
+    #[inline]
+    fn util_key(spt: u32, free: u32) -> u64 {
+        debug_assert!(spt <= 1 << (UTIL_KEY_SHIFT / 2));
+        (((spt - free) as u64) << UTIL_KEY_SHIFT) / spt as u64
     }
 
     /// Global track index for (cylinder, track).
@@ -166,6 +190,7 @@ impl FreeMap {
             });
         }
         let was_empty = self.free_count[ti] == spt;
+        let free_before = self.free_count[ti];
         let slots = spt / INDEX_ALIGN;
         for s in sector..sector + count {
             let w = &mut self.bits[ti][s as usize / 64];
@@ -200,6 +225,17 @@ impl FreeMap {
                         _ => {}
                     }
                 }
+            }
+        }
+        let free_after = self.free_count[ti];
+        if free_before != free_after {
+            if free_before < spt {
+                self.occ_by_util
+                    .remove(&(Self::util_key(spt, free_before), ti as u32));
+            }
+            if free_after < spt {
+                self.occ_by_util
+                    .insert((Self::util_key(spt, free_after), ti as u32));
             }
         }
         let now_empty = self.free_count[ti] == spt;
@@ -418,6 +454,28 @@ impl FreeMap {
         let ti = self.track_index(cyl, track);
         1.0 - self.free_count[ti] as f64 / self.spt[ti] as f64
     }
+
+    /// Number of tracks holding at least one live sector — the size of the
+    /// utilization index, O(1).
+    pub fn nonempty_tracks(&self) -> u32 {
+        self.occ_by_util.len() as u32
+    }
+
+    /// The least-utilized track holding at least one live sector, skipping
+    /// tracks rejected by `exclude`; ties resolve to the lowest global
+    /// track index, matching a first-minimum full scan in `(cyl, track)`
+    /// order. Cost is proportional to the number of excluded tracks
+    /// inspected before a hit — O(1) amortized for the compactor's fixed
+    /// exclusion set (the allocator fill track and the firmware track).
+    pub fn least_utilized_nonempty(
+        &self,
+        mut exclude: impl FnMut(u32, u32) -> bool,
+    ) -> Option<(u32, u32)> {
+        self.occ_by_util
+            .iter()
+            .map(|&(_, ti)| (ti / self.tracks_per_cyl, ti % self.tracks_per_cyl))
+            .find(|&(c, t)| !exclude(c, t))
+    }
 }
 
 #[cfg(test)]
@@ -524,6 +582,70 @@ mod tests {
         assert_eq!(m.track_utilization(0, 0), 0.0);
         m.allocate(0, 0, 0, 8).unwrap();
         assert!((m.track_utilization(0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    /// Full-rescan oracle for the utilization index: the pre-index pick —
+    /// first minimum of the f64 utilization in `(cyl, track)` scan order,
+    /// over tracks with live data.
+    fn least_utilized_rescan(
+        m: &FreeMap,
+        mut exclude: impl FnMut(u32, u32) -> bool,
+    ) -> Option<(u32, u32)> {
+        let mut best: Option<((u32, u32), f64)> = None;
+        for c in 0..m.cylinders() {
+            for t in 0..m.tracks_in_cylinder() {
+                if m.free_in_track(c, t) == m.sectors_per_track(m.track_index(c, t))
+                    || exclude(c, t)
+                {
+                    continue;
+                }
+                let u = m.track_utilization(c, t);
+                if best.is_none_or(|(_, b)| u < b) {
+                    best = Some(((c, t), u));
+                }
+            }
+        }
+        best.map(|(ct, _)| ct)
+    }
+
+    #[test]
+    fn utilization_index_matches_rescan_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Mixed-width geometries exercise the cross-spt key ordering.
+        for (cyls, tracks, spt) in [(4u32, 2u32, 16u32), (6, 3, 72), (3, 2, 256)] {
+            let g = Geometry::uniform(cyls, tracks, spt);
+            let mut m = FreeMap::new(&g);
+            let mut rng = StdRng::seed_from_u64(0x0CCB ^ (cyls as u64) << 8 | spt as u64);
+            for step in 0..600 {
+                let c = rng.gen_range(0..cyls);
+                let t = rng.gen_range(0..tracks);
+                let s = rng.gen_range(0..spt);
+                let n = rng.gen_range(1..(spt - s).clamp(2, 9));
+                if rng.gen_bool(0.55) {
+                    m.allocate(c, t, s, n).unwrap();
+                } else {
+                    m.release(c, t, s, n).unwrap();
+                }
+                let no_excl = |_: u32, _: u32| false;
+                assert_eq!(
+                    m.least_utilized_nonempty(no_excl),
+                    least_utilized_rescan(&m, no_excl),
+                    "step {step} on {cyls}x{tracks}x{spt}"
+                );
+                // And with an exclusion, as the compactor applies one.
+                let excl = |cc: u32, tt: u32| (cc, tt) == (0, 0);
+                assert_eq!(
+                    m.least_utilized_nonempty(excl),
+                    least_utilized_rescan(&m, excl)
+                );
+                let nonempty = (0..cyls)
+                    .flat_map(|c| (0..tracks).map(move |t| (c, t)))
+                    .filter(|&(c, t)| m.free_in_track(c, t) < spt)
+                    .count() as u32;
+                assert_eq!(m.nonempty_tracks(), nonempty);
+            }
+        }
     }
 
     #[test]

@@ -187,6 +187,18 @@ impl Disk {
         }
     }
 
+    /// Record the batched-run shape of one command: how many same-track
+    /// contiguous runs it collapsed into a single clock event, and how long
+    /// each run was in sectors.
+    fn observe_runs(&self, runs: &[Run]) {
+        if self.metrics.is_enabled() {
+            self.metrics.observe("disk.runs_per_cmd", runs.len() as u64);
+            for run in runs {
+                self.metrics.observe("disk.run_len", run.count as u64);
+            }
+        }
+    }
+
     /// Tabulated seek time for a cylinder distance of `d` (identical to
     /// `spec().mech.seek_ns(d)`, without the per-call float work).
     #[inline]
@@ -398,7 +410,24 @@ impl Disk {
 
     /// Read `count` sectors starting at `lba` into `buf`, advancing the
     /// clock by the returned service time.
+    ///
+    /// The whole command is planned against an absolute-time cursor (the
+    /// same arithmetic as [`Self::preview_access`]) and charged to the
+    /// clock as **one** event, however many track runs it spans. With
+    /// `VLFS_REFERENCE=1` the pre-batching stepwise discipline (one clock
+    /// event per run) is used instead; both produce identical times.
     pub fn read_sectors(&mut self, lba: u64, buf: &mut [u8]) -> Result<ServiceTime> {
+        self.read_sectors_impl(lba, buf, crate::reference_mode())
+    }
+
+    /// The stepwise reference discipline, callable directly by equivalence
+    /// tests regardless of the `VLFS_REFERENCE` environment switch.
+    #[doc(hidden)]
+    pub fn read_sectors_stepwise(&mut self, lba: u64, buf: &mut [u8]) -> Result<ServiceTime> {
+        self.read_sectors_impl(lba, buf, true)
+    }
+
+    fn read_sectors_impl(&mut self, lba: u64, buf: &mut [u8], stepwise: bool) -> Result<ServiceTime> {
         let count = Self::sector_count(buf.len())?;
         if count == 0 {
             return Ok(ServiceTime::ZERO);
@@ -408,7 +437,13 @@ impl Disk {
             overhead_ns: self.spec.command_overhead_ns,
             ..ServiceTime::ZERO
         };
-        self.clock.advance(self.spec.command_overhead_ns);
+        if stepwise {
+            self.clock.advance(self.spec.command_overhead_ns);
+        }
+        // Absolute-time cursor: in batched mode the clock itself stands
+        // still until the whole command is planned, so rotational phases
+        // are computed against `t` rather than `clock.now()`.
+        let mut t = self.clock.now() + if stepwise { 0 } else { self.spec.command_overhead_ns };
         let from_cyl = self.cur_cyl;
         let mut off = 0usize;
         for run in &runs {
@@ -420,11 +455,17 @@ impl Disk {
                     transfer_ns: self.spec.mech.transfer_ns(run.count, run.spt),
                     ..ServiceTime::ZERO
                 };
-                self.clock.advance(st.total_ns());
+                if stepwise {
+                    self.clock.advance(st.total_ns());
+                }
+                t += st.total_ns();
                 total += st;
             } else {
-                let st = self.plan_run(run, self.cur_cyl, self.cur_track, self.clock.now());
-                self.clock.advance(st.total_ns());
+                let st = self.plan_run(run, self.cur_cyl, self.cur_track, t);
+                if stepwise {
+                    self.clock.advance(st.total_ns());
+                }
+                t += st.total_ns();
                 total += st;
                 self.cur_cyl = run.cyl;
                 self.cur_track = run.track;
@@ -434,6 +475,11 @@ impl Disk {
             self.store.read(run.cyl, run.track, run.sector, part);
             off += part.len();
         }
+        if !stepwise {
+            self.clock.advance(total.total_ns());
+        }
+        debug_assert_eq!(t, self.clock.now());
+        self.observe_runs(&runs);
         self.stats.reads += 1;
         self.stats.sectors_read += count as u64;
         self.stats.busy += total;
@@ -452,7 +498,22 @@ impl Disk {
     /// Write `buf` (a whole number of sectors) starting at `lba`, advancing
     /// the clock by the returned service time. Writes always reach the
     /// media; there is no write-back cache.
+    ///
+    /// Like [`Self::read_sectors`], the whole command is one clock event in
+    /// the batched default and one event per track run under
+    /// `VLFS_REFERENCE=1`, with identical arithmetic either way.
     pub fn write_sectors(&mut self, lba: u64, buf: &[u8]) -> Result<ServiceTime> {
+        self.write_sectors_impl(lba, buf, crate::reference_mode())
+    }
+
+    /// The stepwise reference discipline, callable directly by equivalence
+    /// tests regardless of the `VLFS_REFERENCE` environment switch.
+    #[doc(hidden)]
+    pub fn write_sectors_stepwise(&mut self, lba: u64, buf: &[u8]) -> Result<ServiceTime> {
+        self.write_sectors_impl(lba, buf, true)
+    }
+
+    fn write_sectors_impl(&mut self, lba: u64, buf: &[u8], stepwise: bool) -> Result<ServiceTime> {
         let count = Self::sector_count(buf.len())?;
         if count == 0 {
             return Ok(ServiceTime::ZERO);
@@ -462,12 +523,18 @@ impl Disk {
             overhead_ns: self.spec.command_overhead_ns,
             ..ServiceTime::ZERO
         };
-        self.clock.advance(self.spec.command_overhead_ns);
+        if stepwise {
+            self.clock.advance(self.spec.command_overhead_ns);
+        }
+        let mut t = self.clock.now() + if stepwise { 0 } else { self.spec.command_overhead_ns };
         let from_cyl = self.cur_cyl;
         let mut off = 0usize;
         for run in &runs {
-            let st = self.plan_run(run, self.cur_cyl, self.cur_track, self.clock.now());
-            self.clock.advance(st.total_ns());
+            let st = self.plan_run(run, self.cur_cyl, self.cur_track, t);
+            if stepwise {
+                self.clock.advance(st.total_ns());
+            }
+            t += st.total_ns();
             total += st;
             self.cur_cyl = run.cyl;
             self.cur_track = run.track;
@@ -477,6 +544,11 @@ impl Disk {
                 .write(run.cyl, run.track, run.sector, run.spt, part);
             off += part.len();
         }
+        if !stepwise {
+            self.clock.advance(total.total_ns());
+        }
+        debug_assert_eq!(t, self.clock.now());
+        self.observe_runs(&runs);
         self.stats.writes += 1;
         self.stats.sectors_written += count as u64;
         self.stats.busy += total;

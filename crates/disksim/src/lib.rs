@@ -34,6 +34,7 @@ pub mod fault;
 pub mod geometry;
 pub mod image;
 pub mod mech;
+pub mod refmode;
 pub mod sched;
 pub mod service;
 pub mod spec;
@@ -46,6 +47,7 @@ pub use error::{DiskError, Result};
 pub use fault::{FaultDisk, FaultLog, FaultPlan, WriteFault};
 pub use geometry::{Geometry, PhysAddr, Zone};
 pub use mech::{MechModel, SeekTable};
+pub use refmode::reference_mode;
 pub use sched::SchedPolicy;
 pub use service::ServiceTime;
 pub use spec::DiskSpec;

@@ -1,0 +1,28 @@
+//! Process-wide switch selecting the pre-optimisation *reference* paths.
+//!
+//! Several hot paths in this workspace keep their original, slower
+//! implementation around as an oracle (the same pattern as
+//! `core::alloc::reference`): the per-run stepwise clock discipline in
+//! [`crate::Disk::read_sectors`] / [`crate::Disk::write_sectors`], and the
+//! full-rescan victim pickers in `core::compact` and `lfs`. Setting
+//! `VLFS_REFERENCE=1` in the environment routes every such call site to its
+//! reference implementation for the whole process, which lets CI re-run the
+//! figure suite both ways and diff the stdout byte-for-byte.
+//!
+//! The switch only ever selects between *representation-equivalent* code
+//! paths — identical virtual-clock arithmetic and identical pick results —
+//! so figure output must not depend on it; the byte-identity check is what
+//! enforces that.
+
+use std::sync::OnceLock;
+
+/// True when `VLFS_REFERENCE` is set to `1` (or `true`) in the environment.
+/// Read once per process; changing the variable afterwards has no effect.
+pub fn reference_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        std::env::var("VLFS_REFERENCE")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false)
+    })
+}

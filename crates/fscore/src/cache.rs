@@ -14,11 +14,17 @@
 //! picks is exactly the one the old linear scan found.
 
 use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 
 /// One cached block.
+///
+/// Payloads are reference-counted so a cache hit can hand the block to the
+/// caller without copying it: readers share the buffer, and the mutating
+/// path ([`BufferCache::get_mut_dirty`]) copies-on-write only when a reader
+/// still holds a handle.
 #[derive(Debug, Clone)]
 struct Buf {
-    data: Vec<u8>,
+    data: Rc<[u8]>,
     dirty: bool,
     lru: u64,
 }
@@ -124,12 +130,35 @@ impl BufferCache {
         }
     }
 
+    /// Look up a block, refreshing its LRU position, and return a shared
+    /// handle to its payload. The zero-copy read path: cloning the `Rc`
+    /// bumps a refcount instead of copying the block.
+    pub fn get_rc(&mut self, block: u64) -> Option<Rc<[u8]>> {
+        let t = Self::bump(&mut self.tick);
+        match self.map.get_mut(&block) {
+            Some(b) => {
+                let (old, dirty) = (b.lru, b.dirty);
+                b.lru = t;
+                let data = Rc::clone(&b.data);
+                self.hits += 1;
+                self.retick(block, dirty, old, t);
+                Some(data)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
     /// Check for presence without touching LRU or counters.
     pub fn contains(&self, block: u64) -> bool {
         self.map.contains_key(&block)
     }
 
-    /// Mutably access a cached block, marking it dirty.
+    /// Mutably access a cached block, marking it dirty. Copies-on-write if
+    /// a reader returned by [`BufferCache::get_rc`] still shares the
+    /// payload, so outstanding handles keep seeing the pre-write bytes.
     pub fn get_mut_dirty(&mut self, block: u64) -> Option<&mut [u8]> {
         let t = Self::bump(&mut self.tick);
         let b = self.map.get_mut(&block)?;
@@ -142,7 +171,11 @@ impl BufferCache {
             self.clean_lru.remove(&old);
         }
         self.dirty_lru.insert(t, block);
-        Some(&mut self.map.get_mut(&block).expect("just found").data)
+        let b = self.map.get_mut(&block).expect("just found");
+        if Rc::get_mut(&mut b.data).is_none() {
+            b.data = Rc::from(&*b.data);
+        }
+        Some(Rc::get_mut(&mut b.data).expect("unshared after CoW"))
     }
 
     /// Insert (or replace) a block. Does **not** evict — call
@@ -151,7 +184,8 @@ impl BufferCache {
     /// # Panics
     ///
     /// Panics if `data` is not block-sized (internal invariant).
-    pub fn insert(&mut self, block: u64, data: Vec<u8>, dirty: bool) {
+    pub fn insert(&mut self, block: u64, data: impl Into<Rc<[u8]>>, dirty: bool) {
+        let data: Rc<[u8]> = data.into();
         assert_eq!(data.len(), self.block_size, "cache blocks are fixed-size");
         let t = Self::bump(&mut self.tick);
         // Replacement keeps an existing buffer dirty if either copy was.
@@ -187,7 +221,7 @@ impl BufferCache {
     }
 
     /// Remove the named recency-index entry and the map entry behind it.
-    fn take(&mut self, tick: u64, dirty: bool) -> (u64, Vec<u8>, bool) {
+    fn take(&mut self, tick: u64, dirty: bool) -> (u64, Rc<[u8]>, bool) {
         let block = if dirty {
             self.dirty_lru.remove(&tick)
         } else {
@@ -200,7 +234,7 @@ impl BufferCache {
 
     /// Remove and return the least-recently-used block:
     /// `(block, data, dirty)`. The caller must write dirty data back.
-    pub fn evict_lru(&mut self) -> Option<(u64, Vec<u8>, bool)> {
+    pub fn evict_lru(&mut self) -> Option<(u64, Rc<[u8]>, bool)> {
         let clean = self.clean_lru.first_key_value().map(|(&t, _)| t);
         let dirty = self.dirty_lru.first_key_value().map(|(&t, _)| t);
         match (clean, dirty) {
@@ -215,7 +249,7 @@ impl BufferCache {
     /// Like [`BufferCache::evict_lru`], but prefers the least-recently-used
     /// *clean* block, falling back to a dirty one only when everything is
     /// dirty. Clean evictions cost no I/O.
-    pub fn evict_lru_prefer_clean(&mut self) -> Option<(u64, Vec<u8>, bool)> {
+    pub fn evict_lru_prefer_clean(&mut self) -> Option<(u64, Rc<[u8]>, bool)> {
         if let Some((&t, _)) = self.clean_lru.first_key_value() {
             return Some(self.take(t, false));
         }
@@ -223,7 +257,7 @@ impl BufferCache {
     }
 
     /// Remove a specific block without writing it back.
-    pub fn remove(&mut self, block: u64) -> Option<(Vec<u8>, bool)> {
+    pub fn remove(&mut self, block: u64) -> Option<(Rc<[u8]>, bool)> {
         let b = self.map.remove(&block)?;
         if b.dirty {
             self.dirty_lru.remove(&b.lru);
@@ -255,7 +289,7 @@ impl BufferCache {
 
     /// Borrow a block's payload without touching LRU or the hit counters.
     pub fn peek(&self, block: u64) -> Option<&[u8]> {
-        self.map.get(&block).map(|b| b.data.as_slice())
+        self.map.get(&block).map(|b| &*b.data)
     }
 
     /// Re-mark a cached block dirty without touching its recency — the
@@ -352,6 +386,22 @@ mod tests {
         c.get_mut_dirty(1).unwrap()[0] = 9;
         assert_eq!(c.dirty_count(), 1);
         assert_eq!(c.get(1).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn get_rc_shares_then_copies_on_write() {
+        let mut c = cache(2);
+        c.insert(1, vec![1, 2, 3, 4], false);
+        let snap = c.get_rc(1).unwrap();
+        assert_eq!(c.stats(), (1, 0), "get_rc counts as a hit");
+        // Mutation must not be visible through the outstanding handle.
+        c.get_mut_dirty(1).unwrap()[0] = 9;
+        assert_eq!(&snap[..], &[1, 2, 3, 4]);
+        assert_eq!(c.get(1).unwrap()[0], 9);
+        drop(snap);
+        // Unshared payloads mutate in place.
+        c.get_mut_dirty(1).unwrap()[1] = 8;
+        assert_eq!(c.peek(1).unwrap(), &[9, 8, 3, 4]);
     }
 
     #[test]

@@ -115,6 +115,12 @@ pub struct LogDisk {
     /// Which checkpoint slot the next sync writes (alternating A/B, so a
     /// crash mid-checkpoint always leaves the other slot intact).
     ckpt_next_b: bool,
+    /// Utilization-ordered index of the `Dirty` segments:
+    /// `(live blocks, segment)`, kept in lockstep with `seg_state` /
+    /// `seg_live` by [`LogDisk::set_seg_state`] / [`LogDisk::set_seg_live`].
+    /// `first()` is the cleaner's victim — lowest live count, ties to the
+    /// lowest segment number, exactly the old full-rescan `min_by_key`.
+    dirty_index: std::collections::BTreeSet<(u32, u32)>,
     stats: CleanerStats,
     /// Metrics handle (disabled by default): cleaner counters, free-segment
     /// gauge and log utilisation.
@@ -166,6 +172,7 @@ impl LogDisk {
             flush_seq: 1,
             pending_free: Vec::new(),
             ckpt_next_b: false,
+            dirty_index: std::collections::BTreeSet::new(),
             stats: CleanerStats::default(),
             metrics: disksim::Metrics::disabled(),
         };
@@ -319,6 +326,12 @@ impl LogDisk {
             })
             .collect();
         let free_count = seg_state.iter().filter(|s| **s == SegState::Free).count() as u32;
+        let dirty_index = seg_state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == SegState::Dirty)
+            .map(|(i, _)| (seg_live[i], i as u32))
+            .collect();
         Ok(LogDisk {
             dev,
             cfg,
@@ -338,6 +351,7 @@ impl LogDisk {
             flush_seq: max_flush_seq + 1,
             pending_free: Vec::new(),
             ckpt_next_b,
+            dirty_index,
             stats: CleanerStats::default(),
             metrics: disksim::Metrics::disabled(),
         })
@@ -424,6 +438,42 @@ impl LogDisk {
 
     // ----- log mechanics -------------------------------------------------
 
+    /// Transition one segment's state, keeping `free_count` and the
+    /// dirty-segment index in lockstep. Every `seg_state` write (after
+    /// construction) must go through here.
+    fn set_seg_state(&mut self, seg: u32, new: SegState) {
+        let old = self.seg_state[seg as usize];
+        if old == new {
+            return;
+        }
+        match old {
+            SegState::Free => self.free_count -= 1,
+            SegState::Dirty => {
+                self.dirty_index.remove(&(self.seg_live[seg as usize], seg));
+            }
+            SegState::Open => {}
+        }
+        match new {
+            SegState::Free => self.free_count += 1,
+            SegState::Dirty => {
+                self.dirty_index.insert((self.seg_live[seg as usize], seg));
+            }
+            SegState::Open => {}
+        }
+        self.seg_state[seg as usize] = new;
+    }
+
+    /// Adjust one segment's live-block count, re-keying the dirty index
+    /// when the segment is in it. Every `seg_live` write (after
+    /// construction) must go through here.
+    fn set_seg_live(&mut self, seg: u32, live: u32) {
+        if self.seg_state[seg as usize] == SegState::Dirty {
+            self.dirty_index.remove(&(self.seg_live[seg as usize], seg));
+            self.dirty_index.insert((live, seg));
+        }
+        self.seg_live[seg as usize] = live;
+    }
+
     fn acquire_segment(&mut self) -> FsResult<u32> {
         for attempt in 0..2 {
             for i in 0..self.nsegs {
@@ -457,8 +507,7 @@ impl LogDisk {
     fn open_mut(&mut self) -> FsResult<&mut OpenSeg> {
         if self.open.is_none() {
             let seg = self.acquire_segment()?;
-            self.seg_state[seg as usize] = SegState::Open;
-            self.free_count -= 1;
+            self.set_seg_state(seg, SegState::Open);
             self.open = Some(OpenSeg {
                 seg,
                 summary: Summary::empty(),
@@ -472,7 +521,11 @@ impl LogDisk {
     /// Append one block to the log; seals the segment when it fills.
     fn append(&mut self, lb: u64, buf: &[u8]) -> FsResult<()> {
         // User-level logical disk: each block through it costs host CPU.
-        self.dev.clock().advance(self.cfg.cpu_per_block_ns);
+        // (A zero-cost configuration skips the clock call entirely so it
+        // doesn't inflate the simulation event count.)
+        if self.cfg.cpu_per_block_ns > 0 {
+            self.dev.clock().advance(self.cfg.cpu_per_block_ns);
+        }
         // Drop the old mapping first.
         self.unmap(lb);
         let bs = self.block_size;
@@ -487,7 +540,7 @@ impl LogDisk {
         let slot = seg_to_slot(seg, idx);
         self.map[lb as usize] = slot as u32;
         self.rmap[slot as usize] = lb as u32;
-        self.seg_live[seg as usize] += 1;
+        self.set_seg_live(seg, self.seg_live[seg as usize] + 1);
         if full {
             self.seal()?;
         }
@@ -509,7 +562,7 @@ impl LogDisk {
             self.map[lb as usize] = NONE;
             self.rmap[old as usize] = NONE;
             let (seg, _) = slot_to_seg(old as u64);
-            self.seg_live[seg as usize] -= 1;
+            self.set_seg_live(seg, self.seg_live[seg as usize] - 1);
             if self.seg_live[seg as usize] == 0 && self.seg_state[seg as usize] == SegState::Dirty {
                 if self.cleaning {
                     // Mid-clean, the emptied segment is the victim (or holds
@@ -524,8 +577,7 @@ impl LogDisk {
                     // A sealed segment emptied by overwrites is safe to free:
                     // the open segment holding the overwrites cannot itself
                     // be recycled before it seals (and thus is durable).
-                    self.seg_state[seg as usize] = SegState::Free;
-                    self.free_count += 1;
+                    self.set_seg_state(seg, SegState::Free);
                 }
             }
         }
@@ -556,10 +608,9 @@ impl LogDisk {
             // flush instead.
             return;
         }
-        for seg in self.pending_free.drain(..) {
+        for seg in std::mem::take(&mut self.pending_free) {
             if self.seg_live[seg as usize] == 0 && self.seg_state[seg as usize] == SegState::Dirty {
-                self.seg_state[seg as usize] = SegState::Free;
-                self.free_count += 1;
+                self.set_seg_state(seg, SegState::Free);
             }
         }
     }
@@ -598,12 +649,12 @@ impl LogDisk {
         ]);
         self.write_open_image(&open)?;
         self.promote_pending_frees();
-        self.seg_state[open.seg as usize] = if self.seg_live[open.seg as usize] > 0 {
+        let new = if self.seg_live[open.seg as usize] > 0 {
             SegState::Dirty
         } else {
-            self.free_count += 1;
             SegState::Free
         };
+        self.set_seg_state(open.seg, new);
         Ok(())
     }
 
@@ -674,23 +725,44 @@ impl LogDisk {
 
     /// Reclaim up to `want` segments, greedily by lowest utilisation.
     /// Returns how many were reclaimed.
+    ///
+    /// The victim is the head of the `(live, seg)` dirty-segment index —
+    /// O(log n) instead of the per-pass summary rescan, with identical
+    /// semantics (lowest live count, ties to the lowest segment number).
+    /// `VLFS_REFERENCE=1` routes the pick through the retained rescan
+    /// oracle instead; debug builds cross-check the two on every pass.
     pub fn clean_some(&mut self, want: u32) -> FsResult<u32> {
         let mut cleaned = 0;
         while cleaned < want {
-            // Pick the least-utilised sealed segment.
-            // Fully-live segments are never worth cleaning: copying them
-            // frees nothing.
-            let victim = (0..self.nsegs)
-                .filter(|&s| {
-                    self.seg_state[s as usize] == SegState::Dirty
-                        && (self.seg_live[s as usize] as u64) < SEG_DATA
-                })
-                .min_by_key(|&s| self.seg_live[s as usize]);
+            let victim = if disksim::reference_mode() {
+                self.choose_victim_rescan()
+            } else {
+                self.metrics.inc("lld.victim_index_picks");
+                // Fully-live segments are never worth cleaning: copying
+                // them frees nothing.
+                self.dirty_index
+                    .first()
+                    .copied()
+                    .and_then(|(live, seg)| ((live as u64) < SEG_DATA).then_some(seg))
+            };
+            debug_assert_eq!(victim, self.choose_victim_rescan());
             let Some(victim) = victim else { break };
             self.clean_segment(victim)?;
             cleaned += 1;
         }
         Ok(cleaned)
+    }
+
+    /// The pre-index full-rescan victim pick — least-utilised sealed
+    /// segment by exhaustive `min_by_key` — retained as the oracle the
+    /// indexed pick is verified against (and used under `VLFS_REFERENCE=1`).
+    pub(crate) fn choose_victim_rescan(&self) -> Option<u32> {
+        (0..self.nsegs)
+            .filter(|&s| {
+                self.seg_state[s as usize] == SegState::Dirty
+                    && (self.seg_live[s as usize] as u64) < SEG_DATA
+            })
+            .min_by_key(|&s| self.seg_live[s as usize])
     }
 
     fn clean_segment(&mut self, victim: u32) -> FsResult<()> {
@@ -817,8 +889,7 @@ impl BlockDevice for LogDisk {
         let start = clock.now();
         let deadline = start + budget_ns;
         while clock.now() < deadline && self.free_segments() < self.cfg.idle_clean_target {
-            let any_dirty = self.seg_state.contains(&SegState::Dirty);
-            if !any_dirty {
+            if self.dirty_index.is_empty() {
                 break;
             }
             self.stats.during_idle += 1;
@@ -1292,5 +1363,49 @@ mod tests {
         let mut r = vec![1u8; 4096];
         l.read_block(0, &mut r).unwrap();
         assert!(r.iter().all(|&b| b == 0));
+    }
+
+    /// The `(live, seg)` dirty index stays in lockstep with `seg_state` /
+    /// `seg_live`, and its head matches the retained full-rescan victim
+    /// oracle, across random write / trim / clean / sync interleavings.
+    #[test]
+    fn dirty_index_matches_rescan_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut l = lld();
+        let mut rng = StdRng::seed_from_u64(0x11D);
+        let n = l.num_blocks();
+        for round in 0..60 {
+            for _ in 0..rng.gen_range(10..200) {
+                let lb = rng.gen_range(0..n / 4);
+                match rng.gen_range(0..10u32) {
+                    0 => l.trim(lb).unwrap(),
+                    _ => {
+                        l.write_block(lb, &vec![lb as u8; 4096]).unwrap();
+                    }
+                }
+            }
+            match rng.gen_range(0..3u32) {
+                0 => {
+                    let _ = l.clean_some(rng.gen_range(1..3u32));
+                }
+                1 => l.sync().unwrap(),
+                _ => {}
+            }
+            let recomputed: std::collections::BTreeSet<(u32, u32)> = l
+                .seg_state
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == SegState::Dirty)
+                .map(|(i, _)| (l.seg_live[i], i as u32))
+                .collect();
+            assert_eq!(l.dirty_index, recomputed, "round {round}");
+            let indexed = l
+                .dirty_index
+                .first()
+                .copied()
+                .and_then(|(live, seg)| ((live as u64) < SEG_DATA).then_some(seg));
+            assert_eq!(indexed, l.choose_victim_rescan(), "round {round}");
+        }
     }
 }

@@ -18,6 +18,7 @@
 //!   with clustered device reads.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use crate::bitmap::Bitmap;
 use crate::dir::{Dirent, DIRENT_SIZE};
@@ -222,7 +223,7 @@ impl Ufs {
 
     // ----- low-level block helpers ------------------------------------
 
-    fn cache_insert(&mut self, blk: u64, data: Vec<u8>, dirty: bool) -> FsResult<()> {
+    fn cache_insert(&mut self, blk: u64, data: Rc<[u8]>, dirty: bool) -> FsResult<()> {
         if self.cache.is_full()
             && !self.cache.contains(blk)
             && self.cfg.flush_on_full
@@ -245,19 +246,22 @@ impl Ufs {
         Ok(())
     }
 
-    /// Read a device block through the cache.
-    fn get_block(&mut self, blk: u64) -> FsResult<Vec<u8>> {
-        if let Some(d) = self.cache.get(blk) {
-            return Ok(d.to_vec());
+    /// Read a device block through the cache. The returned handle shares
+    /// the cached payload — a hit costs an `Rc` clone, not a 4 KB copy.
+    fn get_block(&mut self, blk: u64) -> FsResult<Rc<[u8]>> {
+        if let Some(d) = self.cache.get_rc(blk) {
+            return Ok(d);
         }
         let mut buf = vec![0u8; BLOCK_SIZE];
         self.dev.read_block(blk, &mut buf)?;
-        self.cache_insert(blk, buf.clone(), false)?;
-        Ok(buf)
+        let data: Rc<[u8]> = buf.into();
+        self.cache_insert(blk, Rc::clone(&data), false)?;
+        Ok(data)
     }
 
     /// Write a device block: synchronously (write-through) or delayed.
     fn put_block(&mut self, blk: u64, data: Vec<u8>, sync: bool) -> FsResult<()> {
+        let data: Rc<[u8]> = data.into();
         if sync {
             self.dev.write_block(blk, &data)?;
             self.cache_insert(blk, data, false)
@@ -277,7 +281,7 @@ impl Ufs {
     fn put_inode(&mut self, ino: u32, inode: &Inode, sync: bool) -> FsResult<()> {
         let (blk, off) = self.layout.inode_location(ino);
         // The block holds other inodes too, so read-modify-write.
-        let mut buf = self.get_block(blk)?;
+        let mut buf = self.get_block(blk)?.to_vec();
         inode.encode_into(&mut buf[off..off + INODE_SIZE]);
         self.put_block(blk, buf, sync)
     }
@@ -361,7 +365,7 @@ impl Ufs {
     /// Look up (or allocate) slot `idx` inside the pointer block `ptr_blk`.
     fn resolve_via(&mut self, ptr_blk: u64, idx: u64, allocate: bool) -> FsResult<Option<u64>> {
         debug_assert!(idx < PTRS_PER_BLOCK);
-        let mut buf = self.get_block(ptr_blk)?;
+        let mut buf = self.get_block(ptr_blk)?.to_vec();
         let o = idx as usize * 4;
         let cur = u32::from_le_bytes(buf[o..o + 4].try_into().expect("slice of 4"));
         if cur != NO_BLOCK {
@@ -500,7 +504,7 @@ impl Ufs {
         let dev_blk = self
             .resolve_block(&mut dir, file_block, true)?
             .ok_or(FsError::NoSpace)?;
-        let mut buf = self.get_block(dev_blk)?;
+        let mut buf = self.get_block(dev_blk)?.to_vec();
         let o = (slot_idx % per_block) as usize * DIRENT_SIZE;
         match entry {
             Some(e) => e.encode_into(&mut buf[o..o + DIRENT_SIZE]),
@@ -650,7 +654,7 @@ impl Ufs {
             let mut buf = vec![0u8; n * BLOCK_SIZE];
             self.dev.read_blocks(targets[i], &mut buf)?;
             for (k, chunk) in buf.chunks(BLOCK_SIZE).enumerate() {
-                self.cache_insert(targets[i] + k as u64, chunk.to_vec(), false)?;
+                self.cache_insert(targets[i] + k as u64, chunk.into(), false)?;
             }
             i = j;
         }
@@ -716,7 +720,8 @@ impl FileSystem for Ufs {
             let mut buf = if n == BLOCK_SIZE {
                 vec![0u8; BLOCK_SIZE]
             } else if had {
-                self.get_block(dev_blk)?
+                // Partial overwrite: read-modify-write needs its own copy.
+                self.get_block(dev_blk)?.to_vec()
             } else {
                 vec![0u8; BLOCK_SIZE]
             };
