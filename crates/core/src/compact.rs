@@ -119,7 +119,16 @@ impl Compactor {
         }
         let achievable = (vlog.free_map().free_sectors() / self.spt0).saturating_sub(2) as u32;
         let target = self.cfg.target_empty_tracks.min(achievable);
-        while clock.now() < deadline {
+        // Emptying a victim starts with a whole-track read — a seek plus a
+        // full rotation — before the per-move deadline checks can engage,
+        // so a run may overshoot the deadline by about one track read plus
+        // one move. The first track starts on any non-zero budget (short
+        // idle intervals are the compactor's reason to exist; callers that
+        // must not overdraw hold back a reserve, see `Vld::idle`), but a
+        // *second* track needs visible headroom.
+        let step_ns = 3 * vlog.disk().spec().half_rotation_ns();
+        let mut started = false;
+        while clock.now() < deadline && (!started || clock.now() + step_ns <= deadline) {
             if vlog.free_map().empty_tracks() >= target {
                 break;
             }
@@ -135,6 +144,7 @@ impl Compactor {
             let Some(victim) = resumed.or_else(|| self.choose_victim(vlog)) else {
                 break;
             };
+            started = true;
             let outcome = self.compact_track(vlog, victim, deadline);
             vlog.alloc.set_avoid(None);
             match outcome {

@@ -92,6 +92,36 @@ pub trait BlockDevice {
     /// `RegularDisk`, say) can unwrap them again after a simulated crash.
     /// Every implementation is one line: `self`.
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+
+    /// Non-consuming downcast support: a borrowed [`std::any::Any`] view of
+    /// the device, so audit harnesses can find a layer inside a *mounted*
+    /// stack (e.g. the VLD under a fault layer) without dismantling it.
+    /// Layers that wrap another device should also expose a borrow of their
+    /// inner device so the probe can walk the stack; see
+    /// [`probe_device`]. The default opts out.
+    fn self_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Borrow the wrapped inner device, for stack-walking probes. `None`
+    /// (the default) for bottom devices and layers that do not forward.
+    fn inner_device(&self) -> Option<&dyn BlockDevice> {
+        None
+    }
+}
+
+/// Walk a device stack top-down and return the first layer of concrete type
+/// `T`, without consuming anything. Relies on [`BlockDevice::self_any`] and
+/// [`BlockDevice::inner_device`]; layers that implement neither are opaque
+/// and end the walk.
+pub fn probe_device<T: 'static>(top: &dyn BlockDevice) -> Option<&T> {
+    let mut dev = top;
+    loop {
+        if let Some(hit) = dev.self_any().and_then(|a| a.downcast_ref::<T>()) {
+            return Some(hit);
+        }
+        dev = dev.inner_device()?;
+    }
 }
 
 /// Downcast a boxed device to a concrete type, panicking with a clear

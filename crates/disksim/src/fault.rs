@@ -397,6 +397,14 @@ impl BlockDevice for FaultDisk {
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
         self
     }
+
+    fn self_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn inner_device(&self) -> Option<&dyn BlockDevice> {
+        Some(self.inner.as_ref())
+    }
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ pub mod spec;
 
 pub use cache::{CachePolicy, TrackCache};
 pub use clock::SimClock;
-pub use device::{downcast_device, BlockDevice, RegularDisk};
+pub use device::{downcast_device, probe_device, BlockDevice, RegularDisk};
 pub use disk::{Disk, DiskStats, HeadPosition};
 pub use error::{DiskError, Result};
 pub use fault::{FaultDisk, FaultLog, FaultPlan, WriteFault};

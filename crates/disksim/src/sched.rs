@@ -183,6 +183,112 @@ mod tests {
         assert!(t.total_ns() > 0);
     }
 
+    /// A batch with deliberate same-sector collisions: roughly a third of
+    /// the requests re-target an earlier request's LBA.
+    fn colliding_batch(n: usize, seed: u64, total: u64) -> Vec<(u64, u32)> {
+        let mut batch = random_batch(n, seed, total);
+        let mut x = seed ^ 0x5DEECE66D;
+        for i in 1..n {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if x.is_multiple_of(3) {
+                batch[i].0 = batch[(x >> 8) as usize % i].0;
+            }
+        }
+        batch
+    }
+
+    /// No starvation, over many seeded batches: every queued request
+    /// appears in the plan exactly once, for every policy, regardless of
+    /// batch size or duplicate targets.
+    #[test]
+    fn property_every_request_is_serviced_exactly_once() {
+        let disk = Disk::new(DiskSpec::hp97560_sim(), SimClock::new());
+        let total = disk.spec().geometry.total_sectors();
+        for seed in 0..24u64 {
+            let n = 1 + (seed as usize * 7) % 70;
+            let batch = colliding_batch(n, seed.wrapping_mul(0x9E37_79B9), total);
+            for policy in [SchedPolicy::Fcfs, SchedPolicy::Sstf, SchedPolicy::Elevator] {
+                let mut order = plan(&disk, &batch, policy);
+                order.sort_unstable();
+                assert_eq!(
+                    order,
+                    (0..batch.len()).collect::<Vec<_>>(),
+                    "{policy:?} seed {seed}: plan is not a permutation"
+                );
+            }
+        }
+    }
+
+    /// Per-sector read-your-writes: when two queued requests overlap, the
+    /// scheduler must keep their submission order — checked structurally
+    /// (plan positions) and observably (the media ends up holding the last
+    /// submitted payload for every sector).
+    #[test]
+    fn property_same_sector_requests_keep_submission_order() {
+        let total = DiskSpec::hp97560_sim().geometry.total_sectors();
+        for seed in 0..12u64 {
+            let batch = colliding_batch(48, seed.wrapping_mul(0xC0FFEE) + 1, total);
+            let disk = Disk::new(DiskSpec::hp97560_sim(), SimClock::new());
+            for policy in [SchedPolicy::Fcfs, SchedPolicy::Sstf, SchedPolicy::Elevator] {
+                let order = plan(&disk, &batch, policy);
+                let mut pos = vec![0usize; batch.len()];
+                for (p, &i) in order.iter().enumerate() {
+                    pos[i] = p;
+                }
+                for i in 0..batch.len() {
+                    for j in i + 1..batch.len() {
+                        let (a, an) = batch[i];
+                        let (b, bn) = batch[j];
+                        if a < b + bn as u64 && b < a + an as u64 {
+                            assert!(
+                                pos[i] < pos[j],
+                                "{policy:?} seed {seed}: overlapping requests \
+                                 {i} (lba {a}) and {j} (lba {b}) reordered"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// End-to-end read-your-writes: service a colliding batch through each
+    /// scheduler and verify every sector holds the payload of the *last
+    /// submitted* write that covers it.
+    #[test]
+    fn property_media_holds_last_submitted_write() {
+        let total = DiskSpec::hp97560_sim().geometry.total_sectors();
+        for policy in [SchedPolicy::Fcfs, SchedPolicy::Sstf, SchedPolicy::Elevator] {
+            let batch = colliding_batch(32, 0xFEED + policy as u64, total);
+            // One distinct payload per request.
+            let payloads: Vec<Vec<u8>> = (0..batch.len())
+                .map(|i| vec![i as u8 + 1; batch[i].1 as usize * SECTOR_BYTES])
+                .collect();
+            let data: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+            let mut disk = Disk::new(DiskSpec::hp97560_sim(), SimClock::new());
+            service_writes(&mut disk, &batch, &data, policy).expect("in range");
+            // Reference: submission order, last writer wins.
+            let mut want: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+            for (i, &(lba, n)) in batch.iter().enumerate() {
+                for s in 0..n as u64 {
+                    want.insert(lba + s, i as u8 + 1);
+                }
+            }
+            let mut sector = vec![0u8; SECTOR_BYTES];
+            for (&lba, &tag) in &want {
+                disk.read_sectors(lba, &mut sector).expect("in range");
+                assert!(
+                    sector.iter().all(|&b| b == tag),
+                    "{policy:?}: sector {lba} lost the last submitted write \
+                     (got {:#04x}, want {tag:#04x})",
+                    sector[0]
+                );
+            }
+        }
+    }
+
     #[test]
     fn queue_sorting_still_loses_to_eager_writing() {
         // The paper's §5.2 point: even perfectly sorted update-in-place

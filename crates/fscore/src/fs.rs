@@ -43,6 +43,13 @@ pub trait FileSystem {
     /// Remove a file and free its blocks.
     fn delete(&mut self, name: &str) -> FsResult<()>;
 
+    /// Rename a file. Fails with `NotFound` if `from` does not exist and
+    /// `Exists` if `to` is already taken. The default refuses: rename
+    /// support is optional (the paper's benchmarks never rename).
+    fn rename(&mut self, _from: &str, _to: &str) -> FsResult<()> {
+        Err(crate::FsError::Invalid("rename not supported"))
+    }
+
     /// Current size of a file in bytes.
     fn file_size(&mut self, f: FileId) -> FsResult<u64>;
 

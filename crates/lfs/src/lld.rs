@@ -922,6 +922,14 @@ impl BlockDevice for LogDisk {
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
         self
     }
+
+    fn self_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn inner_device(&self) -> Option<&dyn BlockDevice> {
+        Some(self.dev.as_ref())
+    }
 }
 
 #[cfg(test)]

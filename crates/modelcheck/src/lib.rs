@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+//! # modelcheck — differential model checking for the VLFS stacks
+//!
+//! A pure in-memory reference file system ([`model::RefModel`]) is driven
+//! in lockstep with the real stacks — UFS and LFS, each over a regular
+//! disk and over the virtual-log disk — through seeded workload traces
+//! ([`gen::generate`]). Every step's result is compared; every `sync`
+//! advances a durability floor; every crash (explicit, or a seeded power
+//! cut in the uniformly spliced fault layer) is followed by the stack's
+//! real recovery path, structural audits (virtual-log consistency probed
+//! in place, `fsck` severe classes), and a byte-exact durability check.
+//!
+//! On divergence the failing trace is minimized ([`shrink::shrink`]) and a
+//! self-contained [`shrink::Reproducer`] — stack, seed, shrunk op list —
+//! is produced.
+//!
+//! ## Seeding
+//!
+//! `VLFS_SEED` is the one environment entry point for reproducibility: it
+//! seeds the workload generator *and* (through the generated episode) the
+//! fault plan armed in the `FaultDisk`, and it is echoed in every failure
+//! report. `VLFS_MC_EPISODES` opts into the long-run soak test; the smoke
+//! sweep's width is `VLFS_MC_SMOKE_SEEDS` (CI pins 64).
+//!
+//! ```text
+//! VLFS_SEED=0xdeadbeef cargo test -p modelcheck        # replay a report
+//! VLFS_MC_EPISODES=500 cargo test -p modelcheck --release -- long_run
+//! ```
+
+pub mod diff;
+pub mod gen;
+pub mod model;
+pub mod rng;
+pub mod shrink;
+pub mod stack;
+
+pub use diff::{run_trace, Divergence, PlantedBug, RunStats};
+pub use gen::{generate, McOp, TraceSpec};
+pub use model::RefModel;
+pub use shrink::{shrink, Reproducer};
+pub use stack::{StackConfig, ALL_CONFIGS};
+
+/// The `VLFS_SEED` environment variable, decimal or `0x`-hex. The single
+/// documented entry point for reseeding the generator and the fault layer.
+pub fn env_seed() -> Option<u64> {
+    let v = std::env::var("VLFS_SEED").ok()?;
+    let v = v.trim();
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
+}
+
+/// Derive episode seed `i` of stack `cfg` from a base seed, so sweeps
+/// decorrelate across both axes while staying replayable from the base.
+pub fn episode_seed(base: u64, cfg: StackConfig, i: u64) -> u64 {
+    let mut s = base ^ (cfg as u64).wrapping_mul(0xA076_1D64_78BD_642F) ^ i.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    rng::splitmix64(&mut s)
+}
+
+/// Generate, run, and on divergence shrink one episode: the main entry
+/// point the test suites use. `len` is the trace length in ops.
+pub fn check_seed(
+    cfg: StackConfig,
+    seed: u64,
+    len: usize,
+) -> Result<RunStats, Box<Reproducer>> {
+    let trace = gen::generate(seed, len);
+    match diff::run_trace(cfg, &trace, &PlantedBug::None) {
+        Ok(stats) => Ok(stats),
+        Err(d) => Err(Box::new(shrink::shrink(cfg, seed, &trace, &PlantedBug::None, d))),
+    }
+}

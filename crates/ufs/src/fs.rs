@@ -96,6 +96,9 @@ pub struct Ufs {
     seq_state: HashMap<u32, (u64, u64)>,
     /// Moving allocation hint within the data region.
     alloc_hint: u64,
+    /// Pointer blocks with delayed slot updates, written through at the
+    /// end of the operation (see [`Ufs::flush_pointer_blocks`]).
+    dirty_ptrs: std::collections::BTreeSet<u64>,
     sync_data: bool,
     /// Observability sink (disabled by default — a single branch per use).
     metrics: disksim::Metrics,
@@ -125,6 +128,7 @@ impl Ufs {
             next_handle: 1,
             seq_state: HashMap::new(),
             alloc_hint: 0,
+            dirty_ptrs: std::collections::BTreeSet::new(),
             sync_data: cfg.sync_data,
             metrics: disksim::Metrics::default(),
         };
@@ -176,11 +180,77 @@ impl Ufs {
             next_handle: 1,
             seq_state: HashMap::new(),
             alloc_hint: 0,
+            dirty_ptrs: std::collections::BTreeSet::new(),
             sync_data: cfg.sync_data,
             metrics: disksim::Metrics::default(),
         };
         fs.load_directories()?;
+        fs.reconcile_bitmaps()?;
         Ok(fs)
+    }
+
+    /// Crash recovery for the delayed-bitmap discipline: inode and
+    /// directory updates are synchronous but bitmap flushes wait for
+    /// `sync`, so after a power loss the on-media bitmaps can lag the
+    /// metadata. Trusting a stale *free* bit would hand out an inode or
+    /// block that reachable metadata already owns (double allocation, then
+    /// a dangling dirent once either owner is deleted) — so re-mark
+    /// everything reachable from the root as allocated. The opposite
+    /// staleness (bits still set for freed objects) is harmless: those
+    /// leak until `fsck` reclaims them.
+    fn reconcile_bitmaps(&mut self) -> FsResult<()> {
+        let mut inos: Vec<u32> = vec![ROOT_INO];
+        inos.extend(self.names.values().map(|e| e.ino));
+        for ino in inos {
+            self.inode_bm.set(ino as u64);
+            let inode = self.get_inode(ino)?;
+            for blk in self.referenced_blocks(&inode)? {
+                // Out-of-range pointers are fsck's to report, not ours to
+                // mirror into the bitmap.
+                if blk >= self.layout.data_start
+                    && blk - self.layout.data_start < self.block_bm.len()
+                {
+                    self.block_bm.set(blk - self.layout.data_start);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every device block `inode` references: data blocks plus the
+    /// indirect pointer blocks themselves.
+    fn referenced_blocks(&mut self, inode: &Inode) -> FsResult<Vec<u64>> {
+        let mut out = Vec::new();
+        for &d in &inode.direct {
+            if d != NO_BLOCK {
+                out.push(d as u64);
+            }
+        }
+        if inode.indirect != NO_BLOCK {
+            out.push(inode.indirect as u64);
+            out.extend(self.pointer_targets(inode.indirect as u64)?);
+        }
+        if inode.dindirect != NO_BLOCK {
+            out.push(inode.dindirect as u64);
+            for p in self.pointer_targets(inode.dindirect as u64)? {
+                out.push(p);
+                out.extend(self.pointer_targets(p)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The non-empty pointers stored in an indirect block.
+    fn pointer_targets(&mut self, blk: u64) -> FsResult<Vec<u64>> {
+        let buf = self.get_block(blk)?;
+        let mut ptrs = Vec::new();
+        for o in (0..BLOCK_SIZE).step_by(4) {
+            let b = u32::from_le_bytes(buf[o..o + 4].try_into().expect("slice of 4"));
+            if b != NO_BLOCK {
+                ptrs.push(b as u64);
+            }
+        }
+        Ok(ptrs)
     }
 
     /// Access the underlying device (e.g. to harvest statistics).
@@ -307,6 +377,7 @@ impl Ufs {
         debug_assert!(blk >= self.layout.data_start);
         self.block_bm.clear(blk - self.layout.data_start);
         self.cache.remove(blk);
+        self.dirty_ptrs.remove(&blk);
         if self.cfg.trim_on_delete {
             let _ = self.dev.trim(blk);
         }
@@ -338,10 +409,16 @@ impl Ufs {
                         return Ok(None);
                     }
                     let b = self.alloc_data_block(hint)?;
-                    self.put_block(b, vec![0u8; BLOCK_SIZE], false)?;
+                    // Pointer blocks are metadata: written through before
+                    // anything on media can reference them. An inode block
+                    // can reach the media early (a synchronous update to a
+                    // neighbouring inode carries the whole block), so a
+                    // cached-only pointer block would leave an on-media
+                    // inode pointing at stale garbage after a crash.
+                    self.put_block(b, vec![0u8; BLOCK_SIZE], true)?;
                     inode.indirect = b as u32;
                 }
-                self.resolve_via(inode.indirect as u64, i, allocate)
+                self.resolve_via(inode.indirect as u64, i, allocate, false)
             }
             BlockPath::Double(i, j) => {
                 if inode.dindirect == NO_BLOCK {
@@ -349,21 +426,28 @@ impl Ufs {
                         return Ok(None);
                     }
                     let b = self.alloc_data_block(hint)?;
-                    self.put_block(b, vec![0u8; BLOCK_SIZE], false)?;
+                    self.put_block(b, vec![0u8; BLOCK_SIZE], true)?;
                     inode.dindirect = b as u32;
                 }
-                let l1 = match self.resolve_via(inode.dindirect as u64, i, allocate)? {
+                let l1 = match self.resolve_via(inode.dindirect as u64, i, allocate, true)? {
                     Some(b) => b,
                     None => return Ok(None),
                 };
-                // A freshly allocated level-1 block must be zeroed.
-                self.resolve_via(l1, j, allocate)
+                self.resolve_via(l1, j, allocate, false)
             }
         }
     }
 
     /// Look up (or allocate) slot `idx` inside the pointer block `ptr_blk`.
-    fn resolve_via(&mut self, ptr_blk: u64, idx: u64, allocate: bool) -> FsResult<Option<u64>> {
+    /// `child_is_ptr` says whether a freshly allocated child is itself a
+    /// pointer block (a level-1 indirect) rather than a data block.
+    fn resolve_via(
+        &mut self,
+        ptr_blk: u64,
+        idx: u64,
+        allocate: bool,
+        child_is_ptr: bool,
+    ) -> FsResult<Option<u64>> {
         debug_assert!(idx < PTRS_PER_BLOCK);
         let mut buf = self.get_block(ptr_blk)?.to_vec();
         let o = idx as usize * 4;
@@ -375,12 +459,38 @@ impl Ufs {
             return Ok(None);
         }
         let b = self.alloc_data_block(self.alloc_hint)?;
-        // New pointer blocks hang off this slot zeroed (they may become
-        // level-1 indirect blocks); data blocks are overwritten anyway.
-        self.put_block(b, vec![0u8; BLOCK_SIZE], false)?;
+        // A pointer-block child is zeroed on media before this slot can
+        // reference it; data children are overwritten by the caller and may
+        // stay delayed (a crash then leaves a pointer to stale data in an
+        // unsynced file, which recovery semantics allow).
+        self.put_block(b, vec![0u8; BLOCK_SIZE], child_is_ptr)?;
         buf[o..o + 4].copy_from_slice(&(b as u32).to_le_bytes());
+        // The slot update is metadata but need not hit the media per slot:
+        // it is delayed here and written through once per operation
+        // ([`Ufs::flush_pointer_blocks`]), before the inode that leads to
+        // it can reach the media.
         self.put_block(ptr_blk, buf, false)?;
+        self.dirty_ptrs.insert(ptr_blk);
         Ok(Some(b))
+    }
+
+    /// Write through every pointer block with delayed slot updates. Called
+    /// at the end of each mutating operation so on-media metadata is always
+    /// structurally consistent: an inode block can reach the media at any
+    /// later point (a synchronous update to a neighbouring inode carries
+    /// the whole block, and cache pressure evicts dirty blocks), and the
+    /// pointer chain it references must already be there.
+    fn flush_pointer_blocks(&mut self) -> FsResult<()> {
+        while let Some(&blk) = self.dirty_ptrs.iter().next() {
+            self.dirty_ptrs.remove(&blk);
+            if let Some((data, dirty)) = self.cache.remove(blk) {
+                if dirty {
+                    self.dev.write_block(blk, &data)?;
+                }
+                self.cache.insert(blk, data, false);
+            }
+        }
+        Ok(())
     }
 
     // ----- directories ----------------------------------------------------
@@ -699,6 +809,28 @@ impl FileSystem for Ufs {
             return Ok(());
         }
         let mut inode = self.get_inode(ino)?;
+        // Extending past EOF exposes bytes of already-allocated blocks in
+        // the gap `[size, offset)` — the old last block's tail, and (after
+        // a crash persisted pointers but not delayed data) even whole
+        // blocks past it — which can hold garbage rather than zero
+        // padding. Zero whatever is allocated there so the gap reads as
+        // the hole POSIX promises; unallocated blocks already do.
+        if offset > inode.size {
+            let bs = BLOCK_SIZE as u64;
+            for fb in inode.size / bs..=(offset - 1) / bs {
+                let Some(dev_blk) = self.resolve_block(&mut inode, fb, false)? else {
+                    continue;
+                };
+                let lo = inode.size.saturating_sub(fb * bs).min(bs) as usize;
+                let hi = (offset - fb * bs).min(bs) as usize;
+                if lo >= hi {
+                    continue;
+                }
+                let mut buf = self.get_block(dev_blk)?.to_vec();
+                buf[lo..hi].fill(0);
+                self.put_block(dev_blk, buf, self.sync_data)?;
+            }
+        }
         let mut pos = 0usize;
         let mut off = offset;
         let mut inode_dirty = false;
@@ -734,6 +866,9 @@ impl FileSystem for Ufs {
             inode.size = off;
             inode_dirty = true;
         }
+        // Pointer blocks updated by this write reach the media before the
+        // inode that references them possibly can.
+        self.flush_pointer_blocks()?;
         if inode_dirty {
             // File-growth metadata is delayed (flushed on sync), matching
             // the FFS discipline for write-path updates.
@@ -843,6 +978,45 @@ impl FileSystem for Ufs {
         self.put_inode(ino, &inode, true)?;
         self.inode_bm.clear(ino as u64);
         self.seq_state.remove(&ino);
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+        self.host.charge(&self.dev.clock(), 0);
+        let from = Self::normalize(from)?;
+        let to = Self::normalize(to)?;
+        let e = *self.names.get(&from).ok_or(FsError::NotFound)?;
+        if e.is_dir {
+            return Err(FsError::Invalid("directory rename not supported"));
+        }
+        if from == to {
+            return Ok(());
+        }
+        if self.names.contains_key(&to) {
+            return Err(FsError::Exists);
+        }
+        let new_parent = self.parent_dir_ino(&to)?;
+        let leaf = Self::split_parent(&to).1.to_string();
+        // Synchronous metadata, safe ordering: the new entry lands first,
+        // then the old one is cleared — a crash in between leaves the file
+        // reachable under both names, never under none.
+        let slot = self.free_dir_slot(new_parent);
+        self.write_dir_slot(new_parent, slot, Some(&Dirent { ino: e.ino, name: leaf }))?;
+        self.dir_slots.get_mut(&new_parent).expect("parent indexed")[slot as usize] = true;
+        *self.child_count.entry(new_parent).or_insert(0) += 1;
+        self.write_dir_slot(e.parent, e.slot, None)?;
+        self.dir_slots.get_mut(&e.parent).expect("parent indexed")[e.slot as usize] = false;
+        *self.child_count.entry(e.parent).or_insert(1) -= 1;
+        self.names.remove(&from);
+        self.names.insert(
+            to,
+            PathEntry {
+                ino: e.ino,
+                parent: new_parent,
+                slot,
+                is_dir: false,
+            },
+        );
         Ok(())
     }
 

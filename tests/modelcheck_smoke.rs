@@ -1,0 +1,21 @@
+//! Tier-1 gateway into the differential model checker: a short seeded
+//! sweep across all four stacks runs on every plain `cargo test`, so no
+//! change to UFS, the LLD, the VLD, or the disk simulator lands without
+//! surviving at least a few randomized crash-and-recover episodes per
+//! stack. The wide sweep lives in `crates/modelcheck` (see the
+//! `modelcheck-smoke` CI job); `VLFS_SEED` re-bases this one too.
+
+use modelcheck::{check_seed, env_seed, episode_seed, ALL_CONFIGS};
+
+#[test]
+fn differential_episodes_all_stacks() {
+    let base = env_seed().unwrap_or(0x7E57_0001_CAFE_F00D);
+    for cfg in ALL_CONFIGS {
+        for i in 0..4 {
+            let seed = episode_seed(base, cfg, i);
+            if let Err(repro) = check_seed(cfg, seed, 32) {
+                panic!("{repro}");
+            }
+        }
+    }
+}
