@@ -1,123 +1,23 @@
 //! Deterministic fan-out of independent benchmark points across threads.
 //!
-//! Every figure/table point in this crate is a self-contained simulation:
-//! it builds its own [`disksim::SimClock`], disk and file system, seeds its
-//! own RNG explicitly, and returns a value. Nothing is shared, so points
-//! can run on any thread in any order — only the *assembly* of results into
-//! a table must follow the sequential order. [`pmap`] provides exactly
-//! that contract: results come back in input order regardless of which
-//! worker computed them or when, which keeps `all_figures` output
-//! byte-identical to a sequential run.
-//!
-//! The pool is scoped (`std::thread::scope`) and built per call — the
-//! workspace builds offline with std only, and points are hundreds of
-//! milliseconds each, so pool construction cost is noise. Workers pull
-//! tasks from a shared atomic cursor (work stealing by index), so uneven
-//! point costs — e.g. Figure 10's long-idle points — balance automatically.
+//! The pool itself now lives in [`disksim::par`] so the model checker and
+//! the crash-point sweeps share it (and its `VLFS_THREADS` knob) without
+//! depending on this crate; the figure modules keep using it through this
+//! re-export. See `disksim::par` for the ordering and determinism
+//! contract.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
-use std::thread;
-
-/// Number of worker threads `pmap` uses.
-///
-/// Resolution order: `set_threads` (the driver's `--threads` flag), the
-/// `VLFS_BENCH_THREADS` environment variable, then the machine's available
-/// parallelism. A value of 1 disables threading entirely (pure sequential
-/// execution on the calling thread).
-pub fn threads() -> usize {
-    if let Some(&n) = CONFIGURED.get() {
-        return n.max(1);
-    }
-    if let Ok(v) = std::env::var("VLFS_BENCH_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-static CONFIGURED: OnceLock<usize> = OnceLock::new();
-
-/// Pin the worker count for the rest of the process (first call wins).
-pub fn set_threads(n: usize) {
-    let _ = CONFIGURED.set(n.max(1));
-}
-
-/// Map `f` over `items` on a scoped worker pool, returning results in
-/// input order. Falls back to a plain sequential map when the pool is one
-/// thread wide or there is at most one item.
-pub fn pmap<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> T + Sync,
-{
-    let workers = threads().min(items.len());
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let inputs: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
-    let outputs: Vec<Mutex<Option<T>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= inputs.len() {
-                    break;
-                }
-                let item = inputs[i]
-                    .lock()
-                    .expect("input slot poisoned")
-                    .take()
-                    .expect("each slot is taken exactly once");
-                let out = f(item);
-                *outputs[i].lock().expect("output slot poisoned") = Some(out);
-            });
-        }
-    });
-    outputs
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("worker panicked would have propagated via scope")
-                .expect("every slot is filled before scope exits")
-        })
-        .collect()
-}
+pub use disksim::par::{pmap, pmap_in, set_threads, threads};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The figure modules' contract: input-order results, identical to a
+    /// sequential map. (The pool's own tests live in `disksim::par`.)
     #[test]
-    fn results_come_back_in_input_order() {
-        // Make late items cheap and early items expensive so completion
-        // order differs from input order.
-        let out = pmap((0..64u64).collect(), |i| {
-            let spins = (64 - i) * 1000;
-            let mut acc = i;
-            for k in 0..spins {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
-            }
-            (i, std::hint::black_box(acc) & 1) // keep the spin from being optimised out
-        });
-        let order: Vec<u64> = out.iter().map(|(i, _)| *i).collect();
-        assert_eq!(order, (0..64).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn sequential_and_parallel_agree() {
-        let seq: Vec<u64> = (0..40u64).map(|i| i * i + 1).collect();
-        let par = pmap((0..40u64).collect(), |i| i * i + 1);
-        assert_eq!(seq, par);
-    }
-
-    #[test]
-    fn empty_and_singleton_inputs() {
-        let empty: Vec<u64> = pmap(Vec::<u64>::new(), |i| i);
-        assert!(empty.is_empty());
-        assert_eq!(pmap(vec![7u64], |i| i + 1), vec![8]);
+    fn reexported_pool_keeps_input_order() {
+        let seq: Vec<u64> = (0..16u64).map(|i| i * 3 + 1).collect();
+        assert_eq!(pmap((0..16u64).collect(), |i| i * 3 + 1), seq);
+        assert_eq!(pmap_in(4, (0..16u64).collect(), |i| i * 3 + 1), seq);
     }
 }

@@ -55,7 +55,7 @@ impl VirtualLog {
         let cap = |errs: &Vec<String>| errs.len() >= 64;
 
         // --- map ↔ rmap bijection ---------------------------------------
-        for (lb, &pb) in self.map.iter().enumerate() {
+        for (lb, pb) in self.map.iter().enumerate() {
             if pb == UNMAPPED {
                 continue;
             }
@@ -74,9 +74,9 @@ impl VirtualLog {
             if lb == UNMAPPED {
                 continue;
             }
-            match self.map.get(lb as usize) {
-                Some(&fwd) if fwd as usize == pb => {}
-                Some(&fwd) => errs.push(format!(
+            match self.map.try_get(lb as usize) {
+                Some(fwd) if fwd as usize == pb => {}
+                Some(fwd) => errs.push(format!(
                     "rmap[{pb}] = lb {lb}, but map[{lb}] = {fwd}"
                 )),
                 None => errs.push(format!("rmap[{pb}] = lb {lb} beyond capacity")),
@@ -119,7 +119,7 @@ impl VirtualLog {
             }
             let start = idx * PIECE_ENTRIES;
             for (k, &entry) in sector.entries.iter().enumerate() {
-                let want = self.map.get(start + k).copied().unwrap_or(UNMAPPED);
+                let want = self.map.try_get(start + k).unwrap_or(UNMAPPED);
                 if entry != want {
                     errs.push(format!(
                         "piece {idx} entry {k} (lb {}): on-disk {entry} vs memory {want}",
@@ -188,7 +188,7 @@ impl VirtualLog {
             Owner::Checkpoint,
         );
         let bs = BLOCK_SECTORS as u64;
-        for (lb, &pb) in self.map.iter().enumerate() {
+        for (lb, pb) in self.map.iter().enumerate() {
             if pb != UNMAPPED {
                 claim(&mut owner, &mut errs, pb as u64 * bs, bs, Owner::Data(lb as u32));
             }

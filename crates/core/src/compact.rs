@@ -391,7 +391,7 @@ impl VirtualLog {
         self.disk.write_sectors(lba, data)?;
         self.free.allocate(cand.0, cand.1, cand.2, BLOCK_SECTORS)?;
         let new_pb = (lba / BLOCK_SECTORS as u64) as u32;
-        self.map[lb as usize] = new_pb;
+        self.map.set(lb as usize, new_pb);
         self.rmap[new_pb as usize] = lb as u32;
         // The old copy is dead the moment the covering map piece commits;
         // defer its release exactly like an overwrite.

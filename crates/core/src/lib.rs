@@ -43,6 +43,7 @@ pub mod compact;
 pub mod freemap;
 pub mod log;
 pub mod mapsector;
+pub mod piecetable;
 pub mod recovery;
 pub mod tail;
 pub mod vld;
@@ -54,6 +55,7 @@ pub use compact::{CompactStats, Compactor, CompactorConfig, VictimPolicy};
 pub use freemap::FreeMap;
 pub use log::{PieceLoc, VirtualLog, VlogStats, BLOCK_BYTES, BLOCK_SECTORS};
 pub use mapsector::{MapFlags, MapSector, TxnInfo, PIECE_ENTRIES, UNMAPPED};
+pub use piecetable::PieceTable;
 pub use recovery::RecoveryReport;
 pub use tail::{TailRecord, FIRMWARE_SECTORS, TAIL_LBA};
 pub use vld::{Vld, VldConfig};

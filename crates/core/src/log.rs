@@ -23,6 +23,7 @@ use crate::alloc::{AllocConfig, Candidate, EagerAllocator};
 use crate::checkpoint::{Checkpoint, CheckpointRegion};
 use crate::freemap::FreeMap;
 use crate::mapsector::{MapFlags, MapSectorRef, TxnInfo, PIECE_ENTRIES, UNMAPPED};
+use crate::piecetable::PieceTable;
 use crate::tail::{TailRecord, FIRMWARE_SECTORS, TAIL_LBA};
 use disksim::{Disk, DiskError, Result, ServiceTime, SECTOR_BYTES};
 
@@ -76,8 +77,9 @@ pub struct VirtualLog {
     pub(crate) disk: Disk,
     pub(crate) alloc: EagerAllocator,
     pub(crate) free: FreeMap,
-    /// Logical block → physical block ([`UNMAPPED`] = hole).
-    pub(crate) map: Vec<u32>,
+    /// Logical block → physical block ([`UNMAPPED`] = hole), paged by
+    /// map piece so lookup is two array indexes.
+    pub(crate) map: PieceTable,
     /// Physical block → logical block (UNMAPPED = not a live data block).
     pub(crate) rmap: Vec<u32>,
     /// Piece index → current on-disk location.
@@ -134,7 +136,7 @@ impl VirtualLog {
             disk,
             alloc: EagerAllocator::new(alloc_cfg),
             free,
-            map: vec![UNMAPPED; num_logical as usize],
+            map: PieceTable::new(num_logical as usize),
             rmap: vec![UNMAPPED; total_pb as usize],
             pieces: vec![None; n_pieces],
             root: None,
@@ -185,7 +187,7 @@ impl VirtualLog {
         disk: Disk,
         alloc: EagerAllocator,
         free: FreeMap,
-        map: Vec<u32>,
+        map: PieceTable,
         rmap: Vec<u32>,
         pieces: Vec<Option<PieceLoc>>,
         root: Option<(u64, u64)>,
@@ -256,7 +258,7 @@ impl VirtualLog {
 
     /// Current physical block of a logical block, if mapped.
     pub fn translate(&self, lb: u64) -> Option<u64> {
-        let pb = *self.map.get(lb as usize)?;
+        let pb = self.map.try_get(lb as usize)?;
         (pb != UNMAPPED).then_some(pb as u64)
     }
 
@@ -408,8 +410,8 @@ impl VirtualLog {
         if self.translate(lb).is_none() {
             return Ok(ServiceTime::ZERO);
         }
-        let old = self.map[lb as usize];
-        self.map[lb as usize] = UNMAPPED;
+        let old = self.map.get(lb as usize);
+        self.map.set(lb as usize, UNMAPPED);
         self.deferred_blocks.push(old);
         let piece = self.piece_of(lb);
         let mut t = self.append_piece(piece, MapFlags::EMPTY, None)?;
@@ -533,8 +535,8 @@ impl VirtualLog {
         self.free
             .allocate(cand.cyl, cand.track, cand.sector, BLOCK_SECTORS)?;
         let new_pb = (lba / BLOCK_SECTORS as u64) as u32;
-        let old_pb = self.map[lb as usize];
-        self.map[lb as usize] = new_pb;
+        let old_pb = self.map.get(lb as usize);
+        self.map.set(lb as usize, new_pb);
         self.rmap[new_pb as usize] = lb as u32;
         if old_pb != UNMAPPED {
             self.deferred_blocks.push(old_pb);
@@ -571,11 +573,9 @@ impl VirtualLog {
             .ok_or(DiskError::NoSpace)?;
         let lba = self.cand_lba(&cand)?;
         let old = self.pieces[piece as usize];
-        // Encode straight from the map table. The final piece may be
+        // Encode straight from the piece's page. The final piece may be
         // shorter than PIECE_ENTRIES; recovery treats absent trailing
         // entries and UNMAPPED padding identically.
-        let start = piece as usize * PIECE_ENTRIES;
-        let end = (start + PIECE_ENTRIES).min(self.map.len());
         let sector = MapSectorRef {
             seq: self.next_seq,
             piece,
@@ -583,7 +583,7 @@ impl VirtualLog {
             prev: self.root,
             bypass: old.and_then(|o| o.prev),
             txn,
-            entries: &self.map[start..end],
+            entries: self.map.piece_entries(piece),
         };
         if trace_enabled() {
             let h = self.disk.head();

@@ -38,6 +38,7 @@ use crate::checkpoint::{Checkpoint, CheckpointRegion};
 use crate::freemap::FreeMap;
 use crate::log::{PieceLoc, VirtualLog, BLOCK_SECTORS};
 use crate::mapsector::{MapFlags, MapSector, PIECE_BYTES, PIECE_ENTRIES, UNMAPPED};
+use crate::piecetable::PieceTable;
 use crate::tail::{TailRecord, FIRMWARE_SECTORS, TAIL_LBA};
 use disksim::{Disk, Result, ServiceTime, SECTOR_BYTES};
 
@@ -121,7 +122,10 @@ impl VirtualLog {
         };
 
         // 4. Youngest-first traversal of the window above the checkpoint.
-        let mut resolved: HashMap<u32, MapSector> = HashMap::new();
+        // Resolved payloads are piece-indexed (dense, bounded by n_pieces)
+        // rather than hashed — the traversal probes this on every sector.
+        let mut resolved: Vec<Option<MapSector>> = vec![None; n_pieces];
+        let mut resolved_n = 0usize;
         let mut piece_locs: Vec<Option<PieceLoc>> = vec![None; n_pieces];
         let mut committed: HashSet<u64> = HashSet::new();
         let mut visited: HashSet<u64> = HashSet::new();
@@ -167,20 +171,24 @@ impl VirtualLog {
             } else {
                 true
             };
-            if payload_valid && (m.piece as usize) < n_pieces && !resolved.contains_key(&m.piece) {
+            if payload_valid
+                && (m.piece as usize) < n_pieces
+                && resolved[m.piece as usize].is_none()
+            {
                 piece_locs[m.piece as usize] = Some(PieceLoc {
                     lba,
                     seq: m.seq,
                     prev: m.prev,
                 });
-                resolved.insert(m.piece, m.clone());
+                resolved[m.piece as usize] = Some(m.clone());
+                resolved_n += 1;
             }
             for ptr in [m.prev, m.bypass].into_iter().flatten() {
                 if ptr.1 >= base.seq {
                     heap.push((ptr.1, ptr.0));
                 }
             }
-            if resolved.len() == n_pieces {
+            if resolved_n == n_pieces {
                 break;
             }
         }
@@ -211,7 +219,10 @@ impl VirtualLog {
                         seq: m.seq,
                         prev: m.prev,
                     });
-                    resolved.insert(m.piece, m.clone());
+                    if resolved[m.piece as usize].is_none() {
+                        resolved_n += 1;
+                    }
+                    resolved[m.piece as usize] = Some(m.clone());
                 }
             }
         }
@@ -228,25 +239,29 @@ impl VirtualLog {
             match MapSector::decode(&buf) {
                 Some(m) if m.seq == loc.seq && m.piece as usize == i => {
                     piece_locs[i] = Some(*loc);
-                    resolved.insert(i as u32, m);
+                    if resolved[i].is_none() {
+                        resolved_n += 1;
+                    }
+                    resolved[i] = Some(m);
                     report.pieces_from_checkpoint += 1;
                 }
                 _ => report.branches_pruned += 1,
             }
         }
-        report.pieces_recovered = resolved.len() as u64;
+        report.pieces_recovered = resolved_n as u64;
         next_seq = next_seq.max(max_seen + 1);
 
         // 7. Rebuild the volatile state.
         let total_pb = total_sectors / BLOCK_SECTORS as u64;
-        let mut map = vec![UNMAPPED; num_logical as usize];
+        let mut map = PieceTable::new(num_logical as usize);
         let mut rmap = vec![UNMAPPED; total_pb as usize];
-        for (piece, m) in &resolved {
-            let base_lb = *piece as usize * PIECE_ENTRIES;
+        for (piece, m) in resolved.iter().enumerate() {
+            let Some(m) = m else { continue };
+            let base_lb = piece * PIECE_ENTRIES;
             for (i, &pb) in m.entries.iter().enumerate() {
                 let lb = base_lb + i;
                 if lb < map.len() && pb != UNMAPPED {
-                    map[lb] = pb;
+                    map.set(lb, pb);
                     rmap[pb as usize] = lb as u32;
                 }
             }
@@ -258,7 +273,7 @@ impl VirtualLog {
             let p = g.lba_to_phys(loc.lba)?;
             free.allocate(p.cyl, p.track, p.sector, BLOCK_SECTORS)?;
         }
-        for &pb in map.iter().filter(|&&pb| pb != UNMAPPED) {
+        for pb in map.iter().filter(|&pb| pb != UNMAPPED) {
             let p = g.lba_to_phys(pb as u64 * BLOCK_SECTORS as u64)?;
             free.allocate(p.cyl, p.track, p.sector, BLOCK_SECTORS)?;
         }
@@ -313,7 +328,12 @@ fn scan_disk(disk: &mut Disk) -> Result<(HashMap<u64, MapSector>, u64, ServiceTi
         }
         v
     };
-    let mut cache = HashMap::new();
+    // Valid map sectors found by a scan are bounded by the live pieces
+    // plus their not-yet-recycled superseded versions — a few per piece.
+    // Pre-sizing to that bound keeps the insert loop rehash-free.
+    let n_pieces = (VirtualLog::logical_capacity(disk.spec().geometry.total_sectors()) as usize)
+        .div_ceil(PIECE_ENTRIES);
+    let mut cache = HashMap::with_capacity(4 * n_pieces);
     let mut scanned = 0u64;
     let mut service = ServiceTime::ZERO;
     let mut buf = Vec::new();

@@ -127,8 +127,18 @@ fn reference_ops(kind: StackKind, w: &Workload, prefix: usize) -> u64 {
     teardown(kind, fs).ops
 }
 
-/// Sweep crash points over one stack and check every invariant.
+/// Sweep crash points over one stack and check every invariant. Crash
+/// points fan out over the shared worker pool (`disksim::par`, sized by
+/// `VLFS_THREADS`): each point builds its own clock, disk and stack, so
+/// points are independent, and failures are collected in point order —
+/// the report is byte-identical to a sequential sweep.
 pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
+    run_sweep_in(disksim::par::threads(), cfg)
+}
+
+/// [`run_sweep`] at an explicit pool width, for tests comparing a 1-wide
+/// and an N-wide sweep in one process (the global knob is set-once).
+pub fn run_sweep_in(width: usize, cfg: &SweepConfig) -> SweepReport {
     let w = &cfg.workload;
     let frontiers = w.frontiers();
     assert!(
@@ -169,23 +179,24 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
         }
     }
 
-    let mut points_run = 0;
-    for &k in &points {
-        points_run += 1;
-        failures.extend(run_point(cfg, &frontiers, &frontier_ops, total_ops, k, None));
-        if cfg.torn && cfg.kind != StackKind::UfsVld && k < total_ops {
-            for survivors in [1, 3] {
-                points_run += 1;
-                failures.extend(run_point(
-                    cfg,
-                    &frontiers,
-                    &frontier_ops,
-                    total_ops,
-                    k,
-                    Some(survivors),
-                ));
-            }
-        }
+    // Materialise the variant list in sequential order — each point, then
+    // its torn variants — and fan it out; input-order collection keeps the
+    // failure list identical at any pool width.
+    let variants: Vec<(u64, Option<u32>)> = points
+        .iter()
+        .flat_map(|&k| {
+            let torn = (cfg.torn && cfg.kind != StackKind::UfsVld && k < total_ops)
+                .then_some([Some(1u32), Some(3u32)])
+                .into_iter()
+                .flatten();
+            std::iter::once((k, None)).chain(torn.map(move |s| (k, s)))
+        })
+        .collect();
+    let points_run = variants.len();
+    for errs in disksim::par::pmap_in(width, variants, |(k, survivors)| {
+        run_point(cfg, &frontiers, &frontier_ops, total_ops, k, survivors)
+    }) {
+        failures.extend(errs);
     }
 
     SweepReport {
@@ -483,5 +494,21 @@ mod tests {
         // Each interior point adds two torn variants.
         assert!(rep.points_run > 3);
         rep.assert_clean();
+    }
+
+    /// The same sweep on a 1-wide and a 4-wide pool must produce the
+    /// identical report: same points, same failure list, same order.
+    #[test]
+    fn sweep_report_identical_across_pool_widths() {
+        for kind in crate::stack::ALL_STACKS {
+            let cfg = SweepConfig::sampled(kind, 3, 0xD15C);
+            let one = run_sweep_in(1, &cfg);
+            let four = run_sweep_in(4, &cfg);
+            assert_eq!(
+                format!("{one:?}"),
+                format!("{four:?}"),
+                "{kind:?}: pool width changed the sweep report"
+            );
+        }
     }
 }

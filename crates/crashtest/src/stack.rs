@@ -127,28 +127,24 @@ pub fn teardown(kind: StackKind, fs: Ufs) -> CrashState {
     match kind {
         StackKind::UfsRegular => {
             let faulty: FaultDisk = downcast_device(dev);
-            let (ops, log, acked) = fault_state(&faulty);
-            let raw: RegularDisk = downcast_device(faulty.into_inner());
+            let (ops, log, acked, inner) = faulty.into_parts();
+            let raw: RegularDisk = downcast_device(inner);
             CrashState { disk: raw.into_disk(), ops, log, acked }
         }
         StackKind::UfsVld => {
             let faulty: FaultDisk = downcast_device(dev);
-            let (ops, log, acked) = fault_state(&faulty);
-            let vld: Vld = downcast_device(faulty.into_inner());
+            let (ops, log, acked, inner) = faulty.into_parts();
+            let vld: Vld = downcast_device(inner);
             CrashState { disk: vld.crash(), ops, log, acked }
         }
         StackKind::UfsLfs => {
             let lld: LogDisk = downcast_device(dev);
             let faulty: FaultDisk = downcast_device(lld.crash());
-            let (ops, log, acked) = fault_state(&faulty);
-            let raw: RegularDisk = downcast_device(faulty.into_inner());
+            let (ops, log, acked, inner) = faulty.into_parts();
+            let raw: RegularDisk = downcast_device(inner);
             CrashState { disk: raw.into_disk(), ops, log, acked }
         }
     }
-}
-
-fn fault_state(f: &FaultDisk) -> (u64, FaultLog, HashMap<u64, u64>) {
-    (f.write_ops(), f.fault_log(), f.acked_blocks().clone())
 }
 
 /// A stack brought back up through its recovery path.

@@ -11,8 +11,6 @@
 //! including the eager-writing previews the virtual log uses to choose the
 //! cheapest free sector.
 
-use std::collections::HashMap;
-
 use obs::{Metrics, OpKind, TraceEvent, Tracer};
 
 use crate::cache::{CachePolicy, TrackCache};
@@ -54,20 +52,43 @@ pub struct DiskStats {
 
 /// Sparse per-track sector store; tracks are materialised (zero-filled) on
 /// first touch so full-size multi-gigabyte disks cost nothing until used.
-#[derive(Debug, Default)]
+///
+/// Layout is a flat slot table indexed `cyl * tracks_per_cylinder + track`
+/// (the tracks-per-cylinder count is uniform across the disk, only the
+/// sectors per track vary by zone), so the per-access cost is one bounds-
+/// checked index instead of a hash probe — this sits under every simulated
+/// sector transfer. Unmaterialised tracks stay `None`, which preserves the
+/// sparse-image semantics: a slot's buffer is allocated (zero-filled, at
+/// that cylinder's zone size) only on first write.
+#[derive(Debug)]
 struct TrackStore {
-    tracks: HashMap<(u32, u32), Box<[u8]>>,
+    tracks: Vec<Option<Box<[u8]>>>,
+    tracks_per_cyl: u32,
 }
 
 impl TrackStore {
+    fn new(geometry: &crate::Geometry) -> Self {
+        let tracks_per_cyl = geometry.tracks_per_cylinder();
+        let slots = geometry.cylinders() as usize * tracks_per_cyl as usize;
+        Self {
+            tracks: vec![None; slots],
+            tracks_per_cyl,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, cyl: u32, track: u32) -> usize {
+        cyl as usize * self.tracks_per_cyl as usize + track as usize
+    }
+
     fn track_mut(&mut self, cyl: u32, track: u32, spt: u32) -> &mut [u8] {
-        self.tracks
-            .entry((cyl, track))
-            .or_insert_with(|| vec![0u8; spt as usize * SECTOR_BYTES].into_boxed_slice())
+        let slot = self.slot(cyl, track);
+        self.tracks[slot]
+            .get_or_insert_with(|| vec![0u8; spt as usize * SECTOR_BYTES].into_boxed_slice())
     }
 
     fn read(&self, cyl: u32, track: u32, sector: u32, buf: &mut [u8]) {
-        match self.tracks.get(&(cyl, track)) {
+        match &self.tracks[self.slot(cyl, track)] {
             Some(t) => {
                 let off = sector as usize * SECTOR_BYTES;
                 buf.copy_from_slice(&t[off..off + buf.len()]);
@@ -116,10 +137,11 @@ impl Disk {
     /// stock (conservative) read-ahead policy.
     pub fn new(spec: DiskSpec, clock: SimClock) -> Self {
         let seek = spec.mech.seek_table(spec.geometry.cylinders());
+        let store = TrackStore::new(&spec.geometry);
         Self {
             spec,
             clock,
-            store: TrackStore::default(),
+            store,
             cur_cyl: 0,
             cur_track: 0,
             cache: TrackCache::new(CachePolicy::Conservative),
@@ -188,14 +210,11 @@ impl Disk {
     }
 
     /// Record the batched-run shape of one command: how many same-track
-    /// contiguous runs it collapsed into a single clock event, and how long
-    /// each run was in sectors.
-    fn observe_runs(&self, runs: &[Run]) {
+    /// contiguous runs it collapsed into a single clock event (each run's
+    /// length in sectors is observed as the command is planned).
+    fn observe_run_count(&self, n_runs: u64) {
         if self.metrics.is_enabled() {
-            self.metrics.observe("disk.runs_per_cmd", runs.len() as u64);
-            for run in runs {
-                self.metrics.observe("disk.run_len", run.count as u64);
-            }
+            self.metrics.observe("disk.runs_per_cmd", n_runs);
         }
     }
 
@@ -281,8 +300,11 @@ impl Disk {
         (sector + self.skew(cyl, track) % spt) % spt
     }
 
-    /// Split a sector-range request into per-track runs.
-    fn runs(&self, lba: u64, count: u32) -> Result<Vec<Run>> {
+    /// Validate a sector-range request up front, so the per-track runs can
+    /// then be produced one at a time ([`Self::run_at`]) without allocating
+    /// a request-sized list — run planning sits under every simulated
+    /// command, so it must not touch the heap.
+    fn check_range(&self, lba: u64, count: u32) -> Result<()> {
         let total = self.spec.geometry.total_sectors();
         if lba >= total {
             return Err(DiskError::OutOfRange {
@@ -293,24 +315,24 @@ impl Disk {
         if lba + count as u64 > total {
             return Err(DiskError::TruncatedTransfer);
         }
-        let mut out = Vec::new();
-        let mut next = lba;
-        let mut left = count;
-        while left > 0 {
-            let p = self.spec.geometry.lba_to_phys(next)?;
-            let spt = self.spec.geometry.sectors_per_track(p.cyl)?;
-            let here = left.min(spt - p.sector);
-            out.push(Run {
-                cyl: p.cyl,
-                track: p.track,
-                sector: p.sector,
-                count: here,
-                spt,
-            });
-            next += here as u64;
-            left -= here;
-        }
-        Ok(out)
+        Ok(())
+    }
+
+    /// The per-track run starting at `next` with `left` sectors still to
+    /// transfer (the run ends at the track boundary or the request end,
+    /// whichever comes first). The range must have passed
+    /// [`Self::check_range`].
+    #[inline]
+    fn run_at(&self, next: u64, left: u32) -> Result<Run> {
+        let p = self.spec.geometry.lba_to_phys(next)?;
+        let spt = self.spec.geometry.sectors_per_track(p.cyl)?;
+        Ok(Run {
+            cyl: p.cyl,
+            track: p.track,
+            sector: p.sector,
+            count: left.min(spt - p.sector),
+            spt,
+        })
     }
 
     /// Mechanical cost of servicing `run` from the media, starting with the
@@ -391,19 +413,24 @@ impl Disk {
     /// to `count` sectors at `lba` issued right now. Used by eager-writing
     /// allocators to rank candidate locations.
     pub fn preview_access(&self, lba: u64, count: u32) -> Result<ServiceTime> {
-        let runs = self.runs(lba, count)?;
+        self.check_range(lba, count)?;
         let mut t = self.clock.now() + self.spec.command_overhead_ns;
         let mut total = ServiceTime {
             overhead_ns: self.spec.command_overhead_ns,
             ..ServiceTime::ZERO
         };
         let (mut c, mut h) = (self.cur_cyl, self.cur_track);
-        for run in &runs {
-            let st = self.plan_run(run, c, h, t);
+        let mut next = lba;
+        let mut left = count;
+        while left > 0 {
+            let run = self.run_at(next, left)?;
+            let st = self.plan_run(&run, c, h, t);
             t += st.total_ns();
             total += st;
             c = run.cyl;
             h = run.track;
+            next += run.count as u64;
+            left -= run.count;
         }
         Ok(total)
     }
@@ -432,7 +459,7 @@ impl Disk {
         if count == 0 {
             return Ok(ServiceTime::ZERO);
         }
-        let runs = self.runs(lba, count)?;
+        self.check_range(lba, count)?;
         let mut total = ServiceTime {
             overhead_ns: self.spec.command_overhead_ns,
             ..ServiceTime::ZERO
@@ -446,7 +473,17 @@ impl Disk {
         let mut t = self.clock.now() + if stepwise { 0 } else { self.spec.command_overhead_ns };
         let from_cyl = self.cur_cyl;
         let mut off = 0usize;
-        for run in &runs {
+        let mut next = lba;
+        let mut left = count;
+        let mut first: Option<Run> = None;
+        let mut n_runs = 0u64;
+        while left > 0 {
+            let run = self.run_at(next, left)?;
+            first.get_or_insert(run);
+            n_runs += 1;
+            if self.metrics.is_enabled() {
+                self.metrics.observe("disk.run_len", run.count as u64);
+            }
             let part = &mut buf[off..off + run.count as usize * SECTOR_BYTES];
             if self.cache.lookup(run.cyl, run.track, run.sector, run.count) {
                 // Buffer hit: deliver at media rate with no positioning and
@@ -461,7 +498,7 @@ impl Disk {
                 t += st.total_ns();
                 total += st;
             } else {
-                let st = self.plan_run(run, self.cur_cyl, self.cur_track, t);
+                let st = self.plan_run(&run, self.cur_cyl, self.cur_track, t);
                 if stepwise {
                     self.clock.advance(st.total_ns());
                 }
@@ -474,16 +511,18 @@ impl Disk {
             }
             self.store.read(run.cyl, run.track, run.sector, part);
             off += part.len();
+            next += run.count as u64;
+            left -= run.count;
         }
         if !stepwise {
             self.clock.advance(total.total_ns());
         }
         debug_assert_eq!(t, self.clock.now());
-        self.observe_runs(&runs);
+        self.observe_run_count(n_runs);
         self.stats.reads += 1;
         self.stats.sectors_read += count as u64;
         self.stats.busy += total;
-        let r0 = runs[0];
+        let r0 = first.expect("count > 0 yields at least one run");
         self.observe_op(
             OpKind::Read,
             lba,
@@ -518,7 +557,7 @@ impl Disk {
         if count == 0 {
             return Ok(ServiceTime::ZERO);
         }
-        let runs = self.runs(lba, count)?;
+        self.check_range(lba, count)?;
         let mut total = ServiceTime {
             overhead_ns: self.spec.command_overhead_ns,
             ..ServiceTime::ZERO
@@ -529,8 +568,18 @@ impl Disk {
         let mut t = self.clock.now() + if stepwise { 0 } else { self.spec.command_overhead_ns };
         let from_cyl = self.cur_cyl;
         let mut off = 0usize;
-        for run in &runs {
-            let st = self.plan_run(run, self.cur_cyl, self.cur_track, t);
+        let mut next = lba;
+        let mut left = count;
+        let mut first: Option<Run> = None;
+        let mut n_runs = 0u64;
+        while left > 0 {
+            let run = self.run_at(next, left)?;
+            first.get_or_insert(run);
+            n_runs += 1;
+            if self.metrics.is_enabled() {
+                self.metrics.observe("disk.run_len", run.count as u64);
+            }
+            let st = self.plan_run(&run, self.cur_cyl, self.cur_track, t);
             if stepwise {
                 self.clock.advance(st.total_ns());
             }
@@ -543,16 +592,18 @@ impl Disk {
             self.store
                 .write(run.cyl, run.track, run.sector, run.spt, part);
             off += part.len();
+            next += run.count as u64;
+            left -= run.count;
         }
         if !stepwise {
             self.clock.advance(total.total_ns());
         }
         debug_assert_eq!(t, self.clock.now());
-        self.observe_runs(&runs);
+        self.observe_run_count(n_runs);
         self.stats.writes += 1;
         self.stats.sectors_written += count as u64;
         self.stats.busy += total;
-        let r0 = runs[0];
+        let r0 = first.expect("count > 0 yields at least one run");
         self.observe_op(
             OpKind::Write,
             lba,
@@ -568,12 +619,17 @@ impl Disk {
     /// checks that model out-of-band verification.
     pub fn peek_sectors(&self, lba: u64, buf: &mut [u8]) -> Result<()> {
         let count = Self::sector_count(buf.len())?;
-        let runs = self.runs(lba, count)?;
+        self.check_range(lba, count)?;
         let mut off = 0usize;
-        for run in &runs {
+        let mut next = lba;
+        let mut left = count;
+        while left > 0 {
+            let run = self.run_at(next, left)?;
             let part = &mut buf[off..off + run.count as usize * SECTOR_BYTES];
             self.store.read(run.cyl, run.track, run.sector, part);
             off += part.len();
+            next += run.count as u64;
+            left -= run.count;
         }
         Ok(())
     }
@@ -582,13 +638,18 @@ impl Disk {
     /// disk image) without perturbing the clock.
     pub fn poke_sectors(&mut self, lba: u64, buf: &[u8]) -> Result<()> {
         let count = Self::sector_count(buf.len())?;
-        let runs = self.runs(lba, count)?;
+        self.check_range(lba, count)?;
         let mut off = 0usize;
-        for run in &runs {
+        let mut next = lba;
+        let mut left = count;
+        while left > 0 {
+            let run = self.run_at(next, left)?;
             let part = &buf[off..off + run.count as usize * SECTOR_BYTES];
             self.store
                 .write(run.cyl, run.track, run.sector, run.spt, part);
             off += part.len();
+            next += run.count as u64;
+            left -= run.count;
         }
         Ok(())
     }
@@ -625,10 +686,16 @@ impl Disk {
 
     /// The (cylinder, track) pairs whose data has been materialised in the
     /// sparse store, in deterministic order. Used by image serialisation.
+    /// The flat slot table yields them already sorted.
     pub fn materialised_tracks(&self) -> Vec<(u32, u32)> {
-        let mut v: Vec<(u32, u32)> = self.store.tracks.keys().copied().collect();
-        v.sort_unstable();
-        v
+        let tpc = self.store.tracks_per_cyl;
+        self.store
+            .tracks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_some())
+            .map(|(i, _)| (i as u32 / tpc, i as u32 % tpc))
+            .collect()
     }
 
     /// Translate a physical address to an LBA (convenience passthrough).

@@ -160,6 +160,9 @@ pub struct FaultDisk {
     log: FaultLog,
     /// Block → content hash of its last acknowledged write.
     acked: HashMap<u64, u64>,
+    /// Reusable buffer for the corrupt-write path, so repeated injected
+    /// corruptions don't allocate per write.
+    scratch: Vec<u8>,
     /// Optional event tracer; injected faults are recorded as
     /// [`OpKind::Fault`] events with a zero service-time breakdown.
     tracer: Option<Tracer>,
@@ -176,6 +179,7 @@ impl FaultDisk {
             powered_off: false,
             log: FaultLog::default(),
             acked: HashMap::new(),
+            scratch: Vec::new(),
             tracer: None,
         }
     }
@@ -238,6 +242,14 @@ impl FaultDisk {
         self.inner
     }
 
+    /// Unwrap, handing back everything a crash harness needs in one move:
+    /// acknowledged-op count, fault log, the acknowledged-write journal,
+    /// and the surviving media. Avoids cloning the journal just to keep it
+    /// alive across [`FaultDisk::into_inner`].
+    pub fn into_parts(self) -> (u64, FaultLog, HashMap<u64, u64>, Box<dyn BlockDevice>) {
+        (self.acked_ops, self.log, self.acked, self.inner)
+    }
+
     fn check_power(&mut self) -> Result<()> {
         if self.powered_off {
             self.log.refused_after_cut += 1;
@@ -266,17 +278,18 @@ impl FaultDisk {
             }
             Some(WriteFault::Corrupt { seed }) => {
                 let mut state = seed ^ op.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                let mut bad = buf.to_vec();
+                self.scratch.clear();
+                self.scratch.extend_from_slice(buf);
                 // Flip a handful of bytes scattered through the block.
                 for _ in 0..4 {
                     let r = splitmix64(&mut state);
-                    let pos = (r as usize) % bad.len();
-                    bad[pos] ^= (r >> 32) as u8 | 1;
+                    let pos = (r as usize) % self.scratch.len();
+                    self.scratch[pos] ^= (r >> 32) as u8 | 1;
                 }
                 self.log.corruptions += 1;
                 self.acked_ops += 1;
                 self.trace_fault(block, (buf.len() / SECTOR_BYTES) as u32);
-                self.inner.write_block(block, &bad)
+                self.inner.write_block(block, &self.scratch)
                 // The op is acknowledged (the caller saw success) but its
                 // content hash is deliberately not: the caller was lied to.
             }

@@ -34,6 +34,7 @@ pub mod fault;
 pub mod geometry;
 pub mod image;
 pub mod mech;
+pub mod par;
 pub mod refmode;
 pub mod sched;
 pub mod service;

@@ -71,3 +71,46 @@ pub fn check_seed(
         Err(d) => Err(Box::new(shrink::shrink(cfg, seed, &trace, &PlantedBug::None, d))),
     }
 }
+
+/// One episode of a sweep and its outcome, in sweep order.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Which stack the episode drove.
+    pub cfg: StackConfig,
+    /// Episode index within the stack's seed range.
+    pub index: u64,
+    /// The derived episode seed ([`episode_seed`]).
+    pub seed: u64,
+    /// Clean stats, or a shrunk seed-replayable reproducer.
+    pub result: Result<RunStats, Box<Reproducer>>,
+}
+
+/// Fan a seeded sweep — every stack in [`ALL_CONFIGS`] × `seeds` episodes
+/// of `len` ops each — over the shared worker pool ([`disksim::par`]).
+///
+/// Each episode builds its own clock, disk and file system and is seeded
+/// by `(base, cfg, index)` alone, so episodes are independent; results
+/// come back in `(cfg, index)` order regardless of the pool width, which
+/// keeps failure sets, report text and shrunk reproducers byte-identical
+/// between a sequential and a parallel sweep.
+pub fn sweep_all_stacks(base: u64, seeds: u64, len: usize) -> Vec<SweepOutcome> {
+    sweep_all_stacks_in(disksim::par::threads(), base, seeds, len)
+}
+
+/// [`sweep_all_stacks`] at an explicit pool width, for tests comparing a
+/// 1-wide and an N-wide run in one process (the global knob is set-once).
+pub fn sweep_all_stacks_in(width: usize, base: u64, seeds: u64, len: usize) -> Vec<SweepOutcome> {
+    let episodes: Vec<(StackConfig, u64)> = ALL_CONFIGS
+        .into_iter()
+        .flat_map(|cfg| (0..seeds).map(move |i| (cfg, i)))
+        .collect();
+    disksim::par::pmap_in(width, episodes, move |(cfg, index)| {
+        let seed = episode_seed(base, cfg, index);
+        SweepOutcome {
+            cfg,
+            index,
+            seed,
+            result: check_seed(cfg, seed, len),
+        }
+    })
+}

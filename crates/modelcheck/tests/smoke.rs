@@ -7,7 +7,8 @@
 //! sweep (CI pins 64); `VLFS_MC_EPISODES` opts into the long-run soak.
 
 use modelcheck::{
-    check_seed, env_seed, episode_seed, gen, run_trace, shrink, PlantedBug, ALL_CONFIGS,
+    check_seed, env_seed, episode_seed, gen, run_trace, shrink, sweep_all_stacks,
+    sweep_all_stacks_in, PlantedBug, SweepOutcome, ALL_CONFIGS,
 };
 
 const DEFAULT_BASE: u64 = 0x0D15_C0DE_5EED_0001;
@@ -28,16 +29,16 @@ fn smoke_episodes_all_stacks() {
     let seeds = env_count("VLFS_MC_SMOKE_SEEDS", 16);
     let mut crashes = 0u32;
     let mut cuts = 0u32;
-    for cfg in ALL_CONFIGS {
-        for i in 0..seeds {
-            let seed = episode_seed(base, cfg, i);
-            match check_seed(cfg, seed, 48) {
-                Ok(stats) => {
-                    crashes += stats.crashes;
-                    cuts += u32::from(stats.cut_fired);
-                }
-                Err(repro) => panic!("{repro}"),
+    // Episodes fan out over the shared pool (VLFS_THREADS); outcomes come
+    // back in (stack, index) order, so any panic below names the same
+    // first failure a sequential sweep would.
+    for outcome in sweep_all_stacks(base, seeds, 48) {
+        match outcome.result {
+            Ok(stats) => {
+                crashes += stats.crashes;
+                cuts += u32::from(stats.cut_fired);
             }
+            Err(repro) => panic!("{repro}"),
         }
     }
     // The sweep must actually exercise the crash paths, not tiptoe past
@@ -62,6 +63,52 @@ fn long_run_soak_when_requested() {
         if let Err(repro) = check_seed(cfg, seed, 96) {
             panic!("{repro}");
         }
+    }
+}
+
+/// The same sweep on a 1-wide and a 4-wide pool must render identically:
+/// same outcomes, same stats, same order. Uses the explicit-width variant
+/// because the process-wide thread knob is set-once.
+#[test]
+fn sweep_is_deterministic_across_pool_widths() {
+    let base = env_seed().unwrap_or(DEFAULT_BASE ^ 0x5EED_D1FF);
+    let render = |outs: &[SweepOutcome]| -> Vec<String> {
+        outs.iter()
+            .map(|o| match &o.result {
+                Ok(s) => format!("{:?}#{} seed={:#x} ok {s:?}", o.cfg, o.index, o.seed),
+                Err(r) => format!("{:?}#{} seed={:#x} FAIL\n{r}", o.cfg, o.index, o.seed),
+            })
+            .collect()
+    };
+    let one = render(&sweep_all_stacks_in(1, base, 4, 32));
+    let four = render(&sweep_all_stacks_in(4, base, 4, 32));
+    assert_eq!(one, four, "pool width changed sweep outcomes");
+}
+
+/// Shrunk reproducers are byte-identical whether produced sequentially or
+/// on pool workers: the detect → shrink pipeline takes no input other than
+/// the seed and the trace, so four parallel copies must all match the
+/// sequential report text exactly.
+#[test]
+fn shrunk_reproducers_identical_across_pool_widths() {
+    let seed = env_seed().unwrap_or(0xBAD_CAB1E);
+    let cfg = modelcheck::StackConfig::UfsRegular;
+    let mut trace = gen::generate(seed, 40);
+    trace.cut = None;
+    let reproduce = |op: u64| -> Option<String> {
+        let planted = PlantedBug::SilentCorruption { op, seed: seed ^ op };
+        let failure = run_trace(cfg, &trace, &planted).err()?;
+        Some(shrink(cfg, seed, &trace, &planted, failure).to_string())
+    };
+    let op = (1..=120)
+        .find(|&op| reproduce(op).is_some())
+        .expect("no planted corruption fired in 120 tries");
+    let sequential = reproduce(op).expect("chosen op reproduces");
+    let parallel = disksim::par::pmap_in(4, vec![op; 4], |op| {
+        reproduce(op).expect("chosen op reproduces on a worker")
+    });
+    for copy in parallel {
+        assert_eq!(sequential, copy, "worker-produced reproducer diverged");
     }
 }
 

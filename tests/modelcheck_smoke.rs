@@ -5,17 +5,17 @@
 //! stack. The wide sweep lives in `crates/modelcheck` (see the
 //! `modelcheck-smoke` CI job); `VLFS_SEED` re-bases this one too.
 
-use modelcheck::{check_seed, env_seed, episode_seed, ALL_CONFIGS};
+use modelcheck::{env_seed, sweep_all_stacks};
 
 #[test]
 fn differential_episodes_all_stacks() {
     let base = env_seed().unwrap_or(0x7E57_0001_CAFE_F00D);
-    for cfg in ALL_CONFIGS {
-        for i in 0..4 {
-            let seed = episode_seed(base, cfg, i);
-            if let Err(repro) = check_seed(cfg, seed, 32) {
-                panic!("{repro}");
-            }
+    // Fans over the shared pool (VLFS_THREADS); outcomes arrive in
+    // (stack, index) order, so the first failure reported is the same
+    // one a sequential sweep would name.
+    for outcome in sweep_all_stacks(base, 4, 32) {
+        if let Err(repro) = outcome.result {
+            panic!("{repro}");
         }
     }
 }
