@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 
 use crate::setup::{DevKind, DiskKind};
 use crate::workload::{make_file, random_updates, rng, BLOCK};
-use disksim::{Metrics, ServiceTime, SimClock, Tracer};
+use disksim::{Metrics, ServiceTime, SimClock, Spans, Tracer};
 use fscore::{FileSystem, FsResult, HostModel};
 
 /// Ring capacity for exhibit traces: large enough that a quick run never
@@ -33,8 +33,14 @@ pub struct StackObs {
     pub tracer: Tracer,
     /// The stack's metrics registry.
     pub metrics: Metrics,
+    /// The causal-span table shared with the disk at the bottom of the stack.
+    pub spans: Spans,
     /// Disk busy breakdown accumulated while the tracer was attached.
     pub busy_delta: ServiceTime,
+    /// Simulated end time of the run (the stack's own virtual clock).
+    pub end_ns: u64,
+    /// Total device reads + writes issued by the run.
+    pub disk_ops: u64,
     /// Measured updates performed.
     pub updates: u64,
 }
@@ -51,6 +57,22 @@ impl StackObs {
         let (o, s, h, r, x) = self.tracer.component_sums();
         o + s + h + r + x
     }
+
+    /// Total span-attributed disk time plus the explicit unattributed
+    /// remainder — must equal [`StackObs::busy_ns`] exactly.
+    pub fn attr_ns(&self) -> u64 {
+        self.spans.total_ns() + self.spans.unattributed_ns()
+    }
+
+    /// Cleaning tax in parts per million: background (compaction/recovery
+    /// subtree) disk time over foreground disk time.
+    pub fn cleaning_tax_ppm(&self) -> u64 {
+        self.spans
+            .background_ns()
+            .saturating_mul(1_000_000)
+            .checked_div(self.spans.foreground_ns())
+            .unwrap_or(0)
+    }
 }
 
 fn busy_minus(a: ServiceTime, b: ServiceTime) -> ServiceTime {
@@ -65,19 +87,39 @@ fn busy_minus(a: ServiceTime, b: ServiceTime) -> ServiceTime {
 
 /// Run the traced Figure 9 workload on one stack.
 pub fn trace_stack(dev: DevKind, updates: u64) -> FsResult<StackObs> {
+    stack_run(dev, updates, true)
+}
+
+/// Shared body of [`trace_stack`]: the workload is identical either way;
+/// `observed` only controls whether the tracer/metrics/spans are attached
+/// to the device (the overhead test compares the two runs to prove
+/// observability does not perturb the simulation).
+fn stack_run(dev: DevKind, updates: u64, observed: bool) -> FsResult<StackObs> {
     let label = match dev {
         DevKind::Regular => "ufs-regular",
         DevKind::Vld => "ufs-vld",
     };
     let tracer = Tracer::with_capacity(RING);
-    let metrics = Metrics::enabled();
+    let metrics = if observed {
+        Metrics::enabled()
+    } else {
+        Metrics::default()
+    };
+    let spans = if observed {
+        Spans::enabled()
+    } else {
+        Spans::disabled()
+    };
     let host = HostModel::sparcstation_10();
     let disk = DiskKind::Hp;
     let (mut fs, busy0) = match dev {
         DevKind::Regular => {
             let mut rd = disksim::RegularDisk::new(disk.spec(), SimClock::new(), BLOCK);
-            rd.disk_mut().set_tracer(Some(tracer.clone()));
-            rd.disk_mut().set_metrics(metrics.clone());
+            if observed {
+                rd.disk_mut().set_tracer(Some(tracer.clone()));
+                rd.disk_mut().set_metrics(metrics.clone());
+                rd.disk_mut().set_spans(spans.clone());
+            }
             let busy0 = rd.disk().stats().busy;
             (
                 ufs::Ufs::format(Box::new(rd), host, ufs::UfsConfig::default())?,
@@ -90,7 +132,10 @@ pub fn trace_stack(dev: DevKind, updates: u64) -> FsResult<StackObs> {
             let mut cfg = vlog_core::VldConfig::default();
             cfg.compactor.target_empty_tracks = 40;
             let mut vld = vlog_core::Vld::format(disk.spec(), SimClock::new(), cfg);
-            vld.set_observability(Some(tracer.clone()), metrics.clone());
+            if observed {
+                vld.set_observability(Some(tracer.clone()), metrics.clone());
+                vld.set_spans(spans.clone());
+            }
             let busy0 = disksim::BlockDevice::disk_stats(&vld).busy;
             (
                 ufs::Ufs::format(Box::new(vld), host, ufs::UfsConfig::default())?,
@@ -98,7 +143,9 @@ pub fn trace_stack(dev: DevKind, updates: u64) -> FsResult<StackObs> {
             )
         }
     };
-    fs.set_metrics(metrics.clone());
+    if observed {
+        fs.set_metrics(metrics.clone());
+    }
 
     let scope = |phase: &str| format!("{label}/{phase}");
     tracer.set_scope(&scope("setup"));
@@ -120,12 +167,26 @@ pub fn trace_stack(dev: DevKind, updates: u64) -> FsResult<StackObs> {
         random_updates(&mut fs, f, file_blocks, chunk, &mut r)?;
         done += chunk;
     }
-    let busy_delta = busy_minus(fs.device().disk_stats().busy, busy0);
+    let stats = fs.device().disk_stats();
+    let busy_delta = busy_minus(stats.busy, busy0);
+    if spans.is_enabled() && metrics.is_enabled() {
+        // Cleaning tax (paper Table 2 / Figure 8 territory): the ratio of
+        // background (compaction/recovery subtree) to foreground disk time.
+        let bg = spans.background_ns();
+        let fg = spans.foreground_ns();
+        let ppm = bg.saturating_mul(1_000_000).checked_div(fg).unwrap_or(0);
+        metrics.gauge(disksim::span::CLEANING_TAX_PPM, ppm as i64);
+        metrics.gauge("span.background_ns", bg as i64);
+        metrics.gauge("span.foreground_ns", fg as i64);
+    }
     Ok(StackObs {
         label,
         tracer,
         metrics,
+        spans,
         busy_delta,
+        end_ns: fs.clock().now(),
+        disk_ops: stats.reads + stats.writes,
         updates,
     })
 }
@@ -165,6 +226,10 @@ pub fn run(updates: u64, trace_path: Option<&str>, metrics_path: Option<&str>) -
     if let Some(path) = trace_path {
         let mut dump = String::new();
         for s in &stacks {
+            // Span lines (keyed by "parent") precede the stack's event lines
+            // (keyed by "at"); `vlstat` tells them apart by key, and detects
+            // stack boundaries by span ids restarting from 1.
+            dump.push_str(&s.spans.dump_jsonl());
             dump.push_str(&s.tracer.dump_jsonl());
         }
         if let Err(e) = std::fs::write(path, dump) {
@@ -181,12 +246,17 @@ pub fn run(updates: u64, trace_path: Option<&str>, metrics_path: Option<&str>) -
             .iter()
             .map(|s| {
                 format!(
-                    "\"{}\": {{\"busy_ns\": {}, \"trace_sum_ns\": {}, \"events\": {}, \"dropped\": {}}}",
+                    "\"{}\": {{\"attr_ns\": {}, \"busy_ns\": {}, \"cleaning_tax_ppm\": {}, \"dropped\": {}, \"events\": {}, \"span_dropped\": {}, \"spans\": {}, \"trace_sum_ns\": {}, \"unattributed_ns\": {}}}",
                     s.label,
+                    s.attr_ns(),
                     s.busy_ns(),
-                    s.trace_sum_ns(),
-                    s.tracer.len(),
+                    s.cleaning_tax_ppm(),
                     s.tracer.dropped(),
+                    s.tracer.len(),
+                    s.spans.dropped(),
+                    s.spans.len(),
+                    s.trace_sum_ns(),
+                    s.spans.unattributed_ns(),
                 )
             })
             .collect();
@@ -199,14 +269,20 @@ pub fn run(updates: u64, trace_path: Option<&str>, metrics_path: Option<&str>) -
 
     let mut rep = String::from("# observability exhibit (random 4 KB sync updates, HP97560)\n");
     for s in &stacks {
-        let ok = s.busy_ns() == s.trace_sum_ns() && s.tracer.dropped() == 0;
+        let ok = s.busy_ns() == s.trace_sum_ns()
+            && s.attr_ns() == s.busy_ns()
+            && s.tracer.dropped() == 0
+            && s.spans.dropped() == 0;
         let _ = writeln!(
             rep,
-            "#   {:<12} {:>7} events, busy {} ns, trace sum {} ns — {}",
+            "#   {:<12} {:>7} events, {:>6} spans, busy {} ns, trace sum {} ns, attributed {} ns, cleaning tax {} ppm — {}",
             s.label,
             s.tracer.len(),
+            s.spans.len(),
             s.busy_ns(),
             s.trace_sum_ns(),
+            s.attr_ns(),
+            s.cleaning_tax_ppm(),
             if ok { "exact match" } else { "MISMATCH" },
         );
         let (n, t) = scope_sums(s, "measured");
@@ -257,7 +333,99 @@ mod tests {
         let a = trace_stack(DevKind::Vld, 40).unwrap();
         let b = trace_stack(DevKind::Vld, 40).unwrap();
         assert_eq!(a.tracer.dump_jsonl(), b.tracer.dump_jsonl());
+        assert_eq!(a.spans.dump_jsonl(), b.spans.dump_jsonl());
         assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+    }
+
+    /// Span-annotated output is identical whether the per-stack runs execute
+    /// on a 1-wide or a 4-wide worker pool (`VLFS_THREADS` widths): the span
+    /// table, trace and metrics are all per-stack state stamped from the
+    /// stack's own virtual clock, so pool scheduling cannot leak in.
+    #[test]
+    fn span_traces_identical_across_pool_widths() {
+        let dumps = |width: usize| -> Vec<(String, String, String)> {
+            disksim::par::pmap_in(width, vec![DevKind::Regular, DevKind::Vld], |dev| {
+                let o = trace_stack(dev, 40).unwrap();
+                (o.spans.dump_jsonl(), o.tracer.dump_jsonl(), o.metrics.to_json())
+            })
+        };
+        assert_eq!(dumps(1), dumps(4));
+    }
+
+    /// The span forest closes over the busy-sum invariant:
+    ///
+    /// * every span's own attributed disk time plus its descendants' is
+    ///   bounded by its wall time (disk busy cannot exceed the causal
+    ///   window it is attributed to),
+    /// * attributed + unattributed disk time equals the disk's cumulative
+    ///   busy delta exactly, and
+    /// * the per-kind metrics counters partition the same total.
+    #[test]
+    fn span_tree_attribution_partitions_busy_sum() {
+        for dev in [DevKind::Regular, DevKind::Vld] {
+            let obs = trace_stack(dev, 60).unwrap();
+            assert_eq!(obs.spans.dropped(), 0, "{dev:?}: span table overflow");
+            let recs = obs.spans.records();
+            assert!(!recs.is_empty(), "{dev:?}: no spans recorded");
+            // Ids are sequential from 1 and a parent always precedes its
+            // children, so one reverse pass accumulates subtree sums.
+            let mut subtree = vec![0u64; recs.len() + 1];
+            for r in recs.iter().rev() {
+                subtree[r.id as usize] += r.disk_ns;
+                if r.parent != 0 {
+                    let s = subtree[r.id as usize];
+                    subtree[r.parent as usize] += s;
+                }
+            }
+            for r in &recs {
+                assert!(r.closed, "{dev:?}: span {} ({}) left open", r.id, r.label);
+                assert!(
+                    subtree[r.id as usize] <= r.wall_ns(),
+                    "{dev:?}: span {} ({}) attributed {} ns > wall {} ns",
+                    r.id,
+                    r.label,
+                    subtree[r.id as usize],
+                    r.wall_ns()
+                );
+            }
+            assert_eq!(obs.attr_ns(), obs.busy_ns(), "{dev:?}: attribution total");
+            let mut counter_sum =
+                obs.metrics.counter_value(disksim::span::UNATTRIBUTED_DISK_NS);
+            for kind in disksim::span::ALL_KINDS {
+                counter_sum += obs.metrics.counter_value(kind.disk_ns_counter());
+            }
+            assert_eq!(counter_sum, obs.busy_ns(), "{dev:?}: per-kind counters");
+            if dev == DevKind::Vld {
+                assert!(
+                    obs.spans.background_ns() > 0,
+                    "VLD run saw no compaction/recovery time"
+                );
+                assert!(
+                    obs.metrics.gauge_value(disksim::span::CLEANING_TAX_PPM).is_some(),
+                    "cleaning-tax gauge missing"
+                );
+            }
+        }
+    }
+
+    /// Observability must not perturb the simulation: the same workload with
+    /// nothing attached reaches the same virtual end time with the same disk
+    /// command count and busy breakdown, and records nothing. (The process-
+    /// wide sim-event counter is shared across concurrently running tests,
+    /// so this asserts the per-stack equivalents; the CI bench-smoke job
+    /// checks the global counter on a single-threaded run.)
+    #[test]
+    fn disabled_observability_is_inert() {
+        for dev in [DevKind::Regular, DevKind::Vld] {
+            let on = stack_run(dev, 40, true).unwrap();
+            let off = stack_run(dev, 40, false).unwrap();
+            assert_eq!(on.end_ns, off.end_ns, "{dev:?}: end time");
+            assert_eq!(on.disk_ops, off.disk_ops, "{dev:?}: command count");
+            assert_eq!(on.busy_ns(), off.busy_ns(), "{dev:?}: busy time");
+            assert!(off.tracer.is_empty(), "{dev:?}: untraced run has events");
+            assert!(off.spans.is_empty(), "{dev:?}: untraced run has spans");
+            assert!(!off.spans.is_enabled() && !off.metrics.is_enabled());
+        }
     }
 
     /// The metrics registry actually fills: the VLD run must touch the

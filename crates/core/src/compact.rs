@@ -112,6 +112,15 @@ impl Compactor {
         let clock = vlog.disk().clock();
         let start = clock.now();
         let deadline = start + budget_ns;
+        // The whole pass is background work: every disk command issued
+        // until the span closes (including map appends for moved blocks,
+        // which open their own child spans) hangs off this node.
+        let spans = vlog.disk().spans().clone();
+        let sp = if spans.is_enabled() {
+            spans.open(disksim::SpanKind::Compaction, "vld.compact", start)
+        } else {
+            0
+        };
         // The pool can never exceed the free space; chasing a larger target
         // would repack the same data forever.
         if self.spt0 == 0 {
@@ -161,6 +170,9 @@ impl Compactor {
                 }
                 Err(_) => break, // no destination space: nothing to gain
             }
+        }
+        if sp != 0 {
+            spans.close(sp, clock.now());
         }
         let consumed = clock.now() - start;
         self.stats.consumed_ns += consumed;

@@ -599,7 +599,22 @@ impl VirtualLog {
             );
         }
         let image = sector.encode()?;
-        let t = self.disk.write_sectors(lba, &image)?;
+        // Attribute the map commit to the log machinery, not to whichever
+        // host command triggered it.
+        let sp = if self.disk.spans().is_enabled() {
+            self.disk.spans().open(
+                disksim::SpanKind::LogAppend,
+                "vlog.map_append",
+                self.disk.clock().now(),
+            )
+        } else {
+            0
+        };
+        let t = self.disk.write_sectors(lba, &image);
+        if sp != 0 {
+            self.disk.spans().close(sp, self.disk.clock().now());
+        }
+        let t = t?;
         self.free
             .allocate(cand.cyl, cand.track, cand.sector, BLOCK_SECTORS)?;
         if let Some(o) = old {
@@ -662,7 +677,20 @@ impl VirtualLog {
             self.ckpt_region.slot_a
         };
         let image = ck.encode(self.ckpt_region.sectors);
-        let t = self.disk.write_sectors(slot, &image)?;
+        let sp = if self.disk.spans().is_enabled() {
+            self.disk.spans().open(
+                disksim::SpanKind::LogAppend,
+                "vlog.checkpoint",
+                self.disk.clock().now(),
+            )
+        } else {
+            0
+        };
+        let t = self.disk.write_sectors(slot, &image);
+        if sp != 0 {
+            self.disk.spans().close(sp, self.disk.clock().now());
+        }
+        let t = t?;
         self.ckpt_use_b = !self.ckpt_use_b;
         self.checkpoint_seq = ck.seq;
         let g = &self.disk.spec().geometry;

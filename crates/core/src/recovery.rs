@@ -71,6 +71,20 @@ impl VirtualLog {
     /// [`VirtualLog::crash`] or a normal shutdown).
     pub fn recover(mut disk: Disk, alloc_cfg: AllocConfig) -> Result<(Self, RecoveryReport)> {
         let mut report = RecoveryReport::default();
+        // Every read of the checkpoint slots, the traversal window and the
+        // scan fallback — plus the closing checkpoint — is recovery work.
+        // (On an error the span stays open; harnesses close leftovers with
+        // `Spans::close_all` before the next mount.)
+        let spans = disk.spans().clone();
+        let sp = if spans.is_enabled() {
+            spans.open(
+                disksim::SpanKind::Recovery,
+                "vld.recover",
+                disk.clock().now(),
+            )
+        } else {
+            0
+        };
 
         let total_sectors = disk.spec().geometry.total_sectors();
         let num_logical = Self::logical_capacity(total_sectors);
@@ -306,6 +320,9 @@ impl VirtualLog {
         // 9. A fresh checkpoint re-establishes the recycling invariant:
         // everything stale from before the crash is genuinely free now.
         report.service += vlog.checkpoint()?;
+        if sp != 0 {
+            spans.close(sp, vlog.disk().clock().now());
+        }
         Ok((vlog, report))
     }
 }

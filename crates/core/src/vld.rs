@@ -152,6 +152,15 @@ impl Vld {
         self.compactor.set_metrics(metrics);
     }
 
+    /// Attach a causal-span handle to the internal disk. The VLD's own
+    /// machinery (map appends, checkpoints, compaction, recovery) opens
+    /// spans on the same handle, so its disk time is attributed to the
+    /// right cause rather than to the host command that happened to be in
+    /// flight.
+    pub fn set_spans(&mut self, spans: disksim::Spans) {
+        self.vlog.disk_mut().set_spans(spans);
+    }
+
     /// Write several logical blocks as a single atomic transaction (one
     /// host command). The virtual log's commit record guarantees that after
     /// a crash either all or none of the batch is visible.
@@ -267,6 +276,10 @@ impl BlockDevice for Vld {
 
     fn self_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn spans(&self) -> disksim::Spans {
+        self.vlog.disk().spans().clone()
     }
 }
 

@@ -48,9 +48,13 @@ use ufs::FsckError;
 use vlog_core::Vld;
 
 use crate::stack::{
-    build, remount, spec, teardown, vld_cfg, CrashState, StackKind, BLOCK,
+    build, build_recorded, remount, spec, teardown, vld_cfg, CrashState, StackKind, BLOCK,
 };
 use crate::workload::{apply, splitmix64, Workload};
+
+/// Event-ring capacity of the failure flight recorder: the last N disk
+/// commands (span-annotated) of a failing crash point's replay.
+const FLIGHT_EVENTS: usize = 256;
 
 /// How to sweep one stack.
 #[derive(Debug, Clone)]
@@ -210,7 +214,9 @@ pub fn run_sweep_in(width: usize, cfg: &SweepConfig) -> SweepReport {
 
 /// Run the workload against a plan that acknowledges exactly `k` writes —
 /// with `survivors` sectors of the `k+1`-th write torn onto the media —
-/// then check the crash state.
+/// then check the crash state. A failing point is replayed once with a
+/// flight recorder so the failure list carries the span-annotated disk
+/// history (workload, crash and recovery) that led to it.
 fn run_point(
     cfg: &SweepConfig,
     frontiers: &[usize],
@@ -219,14 +225,56 @@ fn run_point(
     k: u64,
     survivors: Option<u32>,
 ) -> Vec<String> {
-    let tag = match survivors {
+    let mut errs = run_point_inner(cfg, frontiers, frontier_ops, total_ops, k, survivors);
+    if !errs.is_empty() {
+        let plan = point_plan(k, survivors);
+        let dump = flight_dump(cfg, plan);
+        let tag = point_tag(k, survivors);
+        errs.push(format!(
+            "{tag}: flight recorder ({} lines):\n{dump}",
+            dump.lines().count()
+        ));
+    }
+    errs
+}
+
+fn point_tag(k: u64, survivors: Option<u32>) -> String {
+    match survivors {
         None => format!("k={k}"),
         Some(s) => format!("k={k}+torn{s}"),
-    };
-    let plan = match survivors {
+    }
+}
+
+fn point_plan(k: u64, survivors: Option<u32>) -> FaultPlan {
+    match survivors {
         None => FaultPlan::power_cut_after(k),
         Some(s) => FaultPlan::torn_power_cut(k + 1, s),
+    }
+}
+
+/// Deterministically replay one crash point with a recorder on the raw
+/// device and return the span-annotated JSONL dump, recovery included.
+fn flight_dump(cfg: &SweepConfig, plan: FaultPlan) -> String {
+    let rec = disksim::FlightRecorder::with_capacity(FLIGHT_EVENTS);
+    let Ok(mut fs) = build_recorded(cfg.kind, plan, Some(&rec)) else {
+        return rec.dump();
     };
+    let _ = apply(&mut fs, &cfg.workload.ops);
+    let st = teardown(cfg.kind, fs);
+    let _ = remount(cfg.kind, st.disk);
+    rec.dump()
+}
+
+fn run_point_inner(
+    cfg: &SweepConfig,
+    frontiers: &[usize],
+    frontier_ops: &[u64],
+    total_ops: u64,
+    k: u64,
+    survivors: Option<u32>,
+) -> Vec<String> {
+    let tag = point_tag(k, survivors);
+    let plan = point_plan(k, survivors);
     let mut fs = match build(cfg.kind, plan) {
         Ok(fs) => fs,
         Err(e) => return vec![format!("{tag}: format failed under plan: {e}")],

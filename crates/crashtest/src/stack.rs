@@ -73,24 +73,43 @@ pub(crate) fn vld_cfg() -> VldConfig {
 
 /// Build a freshly formatted stack with `plan` armed in its fault layer.
 pub fn build(kind: StackKind, plan: FaultPlan) -> FsResult<Ufs> {
+    build_recorded(kind, plan, None)
+}
+
+/// [`build`] with an optional flight recorder attached to the raw device.
+/// Its ring and span table live on the mechanical [`Disk`], which survives
+/// [`teardown`], so one recorder covers the workload, the crash and the
+/// recovery a later [`remount`] performs.
+pub fn build_recorded(
+    kind: StackKind,
+    plan: FaultPlan,
+    rec: Option<&disksim::FlightRecorder>,
+) -> FsResult<Ufs> {
     let clock = SimClock::new();
     let host = HostModel::instant();
     match kind {
-        StackKind::UfsRegular => {
-            let raw = RegularDisk::new(spec(), clock, BLOCK);
+        StackKind::UfsRegular | StackKind::UfsLfs => {
+            let mut raw = RegularDisk::new(spec(), clock, BLOCK);
+            if let Some(r) = rec {
+                raw.disk_mut().set_tracer(Some(r.tracer.clone()));
+                raw.disk_mut().set_spans(r.spans.clone());
+            }
             let faulty = FaultDisk::new(Box::new(raw), plan);
-            Ufs::format(Box::new(faulty), host, ufs_cfg())
+            if kind == StackKind::UfsLfs {
+                let lld = LogDisk::format(Box::new(faulty), LldConfig::default())?;
+                Ufs::format(Box::new(lld), host, ufs_cfg())
+            } else {
+                Ufs::format(Box::new(faulty), host, ufs_cfg())
+            }
         }
         StackKind::UfsVld => {
-            let vld = Vld::format(spec(), clock, vld_cfg());
+            let mut vld = Vld::format(spec(), clock, vld_cfg());
+            if let Some(r) = rec {
+                vld.set_observability(Some(r.tracer.clone()), disksim::Metrics::default());
+                vld.set_spans(r.spans.clone());
+            }
             let faulty = FaultDisk::new(Box::new(vld), plan);
             Ufs::format(Box::new(faulty), host, ufs_cfg())
-        }
-        StackKind::UfsLfs => {
-            let raw = RegularDisk::new(spec(), clock, BLOCK);
-            let faulty = FaultDisk::new(Box::new(raw), plan);
-            let lld = LogDisk::format(Box::new(faulty), LldConfig::default())?;
-            Ufs::format(Box::new(lld), host, ufs_cfg())
         }
     }
 }
@@ -158,6 +177,9 @@ pub struct Remounted {
 /// Remount a crash state through the stack's recovery path.
 pub fn remount(kind: StackKind, disk: Disk) -> FsResult<Remounted> {
     let host = HostModel::instant();
+    // Close any spans the crash interrupted so recovery spans attach at
+    // the root (no-op unless a flight recorder is attached to the disk).
+    disk.spans().close_all(disk.clock().now());
     match kind {
         StackKind::UfsRegular => {
             let raw = RegularDisk::from_disk(disk, BLOCK);
@@ -227,6 +249,42 @@ mod tests {
             0,
             "fault events must not perturb busy-sum accounting"
         );
+    }
+
+    /// A flight recorder attached at build keeps recording across the
+    /// crash: its span table and event ring live on the mechanical disk,
+    /// so the dump taken after remount shows the recovery pass too, and
+    /// every event is stamped with the span that caused it.
+    #[test]
+    fn flight_recorder_covers_crash_and_recovery() {
+        for (kind, recovery_label) in [
+            (StackKind::UfsRegular, "ufs.mount"),
+            (StackKind::UfsVld, "vld.recover"),
+            (StackKind::UfsLfs, "lld.mount"),
+        ] {
+            let rec = disksim::FlightRecorder::with_capacity(256);
+            let mut fs = build_recorded(kind, FaultPlan::none(), Some(&rec)).expect("format");
+            apply(&mut fs, &Workload::small_mixed().ops).expect("workload");
+            let st = teardown(kind, fs);
+            remount(kind, st.disk).expect("remount");
+            let dump = rec.dump();
+            assert!(
+                dump.contains(&format!("\"label\":\"{recovery_label}\"")),
+                "{kind:?}: no {recovery_label} span in dump"
+            );
+            assert!(
+                dump.contains("\"label\":\"ufs.format\""),
+                "{kind:?}: format span missing"
+            );
+            assert!(!rec.tracer.is_empty(), "{kind:?}: no events recorded");
+            // Recording twice is deterministic.
+            let rec2 = disksim::FlightRecorder::with_capacity(256);
+            let mut fs = build_recorded(kind, FaultPlan::none(), Some(&rec2)).expect("format");
+            apply(&mut fs, &Workload::small_mixed().ops).expect("workload");
+            let st = teardown(kind, fs);
+            remount(kind, st.disk).expect("remount");
+            assert_eq!(dump, rec2.dump(), "{kind:?}: recorder dump nondeterministic");
+        }
     }
 
     /// The device-write count is a pure function of (stack, workload):

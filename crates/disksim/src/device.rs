@@ -108,6 +108,14 @@ pub trait BlockDevice {
     fn inner_device(&self) -> Option<&dyn BlockDevice> {
         None
     }
+
+    /// The causal-span handle the device attributes disk time against
+    /// (disabled by default). Wrapping layers forward to their inner
+    /// device, so a file system above any stack can clone the one handle
+    /// the bottom [`Disk`] stamps events with and open spans on it.
+    fn spans(&self) -> obs::Spans {
+        obs::Spans::disabled()
+    }
 }
 
 /// Walk a device stack top-down and return the first layer of concrete type
@@ -274,6 +282,10 @@ impl BlockDevice for RegularDisk {
 
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
         self
+    }
+
+    fn spans(&self) -> obs::Spans {
+        self.disk.spans().clone()
     }
 }
 

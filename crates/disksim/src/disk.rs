@@ -11,7 +11,7 @@
 //! including the eager-writing previews the virtual log uses to choose the
 //! cheapest free sector.
 
-use obs::{Metrics, OpKind, TraceEvent, Tracer};
+use obs::{Metrics, OpKind, Spans, TraceEvent, Tracer};
 
 use crate::cache::{CachePolicy, TrackCache};
 use crate::clock::SimClock;
@@ -130,6 +130,8 @@ pub struct Disk {
     tracer: Option<Tracer>,
     /// Metrics handle; disabled by default (no-op after one branch).
     metrics: Metrics,
+    /// Causal-span handle; disabled by default (no-op after one branch).
+    spans: Spans,
 }
 
 impl Disk {
@@ -149,6 +151,7 @@ impl Disk {
             seek,
             tracer: None,
             metrics: Metrics::disabled(),
+            spans: Spans::disabled(),
         }
     }
 
@@ -170,13 +173,31 @@ impl Disk {
         self.metrics = metrics;
     }
 
-    /// Record one completed operation to the tracer and metrics.
+    /// Attach a causal-span handle (pass `Spans::disabled()` to detach).
+    /// Every timed operation is attributed to the innermost span open on
+    /// this handle at completion time; layers above share clones of the
+    /// same handle so their spans are the attribution targets.
+    pub fn set_spans(&mut self, spans: Spans) {
+        self.spans = spans;
+    }
+
+    /// The attached span handle (disabled handles are cheap to clone).
+    pub fn spans(&self) -> &Spans {
+        &self.spans
+    }
+
+    /// Record one completed operation to the span table, tracer and
+    /// metrics.
     fn observe_op(&self, kind: OpKind, lba: u64, sectors: u32, loc: (u32, u32, u32), seek_cyls: u32, st: ServiceTime) {
+        // Attribute the busy time to the innermost open span first, so the
+        // trace event can be stamped with the owning span's id.
+        let (span, span_kind) = self.spans.attribute(st.total_ns());
         if let Some(tr) = &self.tracer {
             tr.record(TraceEvent {
                 at_ns: self.clock.now(),
                 kind,
                 scope: 0,
+                span,
                 lba,
                 sectors,
                 cyl: loc.0,
@@ -206,6 +227,20 @@ impl Disk {
                 }
             }
             self.metrics.observe("disk.seek_cyls", seek_cyls as u64);
+            if self.spans.is_enabled() {
+                // Per-kind attributed time: the counters partition the
+                // disk's cumulative busy time exactly (unattributed time
+                // gets its own key), so their sum equals the busy-sum.
+                let (ns_key, cmd_key) = match span_kind {
+                    Some(k) => (k.disk_ns_counter(), k.disk_cmds_counter()),
+                    None => (
+                        obs::span::UNATTRIBUTED_DISK_NS,
+                        obs::span::UNATTRIBUTED_DISK_CMDS,
+                    ),
+                };
+                self.metrics.add(ns_key, st.total_ns());
+                self.metrics.inc(cmd_key);
+            }
         }
     }
 

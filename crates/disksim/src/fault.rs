@@ -197,6 +197,10 @@ impl FaultDisk {
                 at_ns: self.inner.clock().now(),
                 kind: OpKind::Fault,
                 scope: 0,
+                // Zero-duration fault markers are not causal disk work, so
+                // they stay unattributed rather than consulting the span
+                // stack of the device below.
+                span: 0,
                 lba: block,
                 sectors,
                 cyl: 0,
@@ -417,6 +421,10 @@ impl BlockDevice for FaultDisk {
 
     fn inner_device(&self) -> Option<&dyn BlockDevice> {
         Some(self.inner.as_ref())
+    }
+
+    fn spans(&self) -> obs::Spans {
+        self.inner.spans()
     }
 }
 

@@ -55,7 +55,8 @@ pub use spec::DiskSpec;
 
 // Observability types, re-exported so device consumers need not depend on
 // `obs` directly.
-pub use obs::{Metrics, OpKind, TraceEvent, Tracer};
+pub use obs::span;
+pub use obs::{FlightRecorder, Metrics, OpKind, SpanKind, SpanRecord, Spans, TraceEvent, Tracer};
 
 /// Size of the smallest addressable unit, in bytes (both paper disks use
 /// 512-byte sectors).

@@ -201,6 +201,14 @@ impl LogDisk {
 
     /// Mount an existing log from its checkpoint.
     pub fn mount(mut dev: Box<dyn BlockDevice>, cfg: LldConfig) -> FsResult<LogDisk> {
+        // Checkpoint reads plus the whole-log summary roll-forward are
+        // recovery work, attributed as such.
+        let spans = dev.spans();
+        let sp = if spans.is_enabled() {
+            spans.open(disksim::SpanKind::Recovery, "lld.mount", dev.clock().now())
+        } else {
+            0
+        };
         let block_size = dev.block_size();
         let (nsegs, logical, ckpt_start, ckpt_blocks) =
             Self::geometry(dev.num_blocks(), block_size)?;
@@ -332,6 +340,9 @@ impl LogDisk {
             .filter(|(_, s)| **s == SegState::Dirty)
             .map(|(i, _)| (seg_live[i], i as u32))
             .collect();
+        if sp != 0 {
+            spans.close(sp, dev.clock().now());
+        }
         Ok(LogDisk {
             dev,
             cfg,
@@ -369,6 +380,25 @@ impl LogDisk {
     pub fn set_metrics(&mut self, metrics: disksim::Metrics) {
         self.metrics = metrics;
         self.update_gauges();
+    }
+
+    /// Open a causal span on the device stack's shared handle (cold paths
+    /// only: segment flushes, checkpoints, the cleaner). Returns the handle
+    /// and the id to pass to [`LogDisk::close_span`]; id 0 when disabled.
+    fn open_span(&self, kind: disksim::SpanKind, label: &'static str) -> (disksim::Spans, u32) {
+        let spans = self.dev.spans();
+        let sp = if spans.is_enabled() {
+            spans.open(kind, label, self.dev.clock().now())
+        } else {
+            0
+        };
+        (spans, sp)
+    }
+
+    fn close_span(&self, spans: &disksim::Spans, sp: u32) {
+        if sp != 0 {
+            spans.close(sp, self.dev.clock().now());
+        }
     }
 
     /// Refresh the slow-moving gauges; called from cold paths only (the
@@ -631,7 +661,10 @@ impl LogDisk {
                     Self::seg_image(&open.summary, &open.data, fill as usize, self.block_size);
                 let start = summary_block(open.seg);
                 open.flushed = fill;
-                self.dev.write_blocks(start, &image)?;
+                let (spans, sp) = self.open_span(disksim::SpanKind::LogAppend, "lld.seg_flush");
+                let r = self.dev.write_blocks(start, &image);
+                self.close_span(&spans, sp);
+                r?;
             }
         }
         self.promote_pending_frees();
@@ -683,7 +716,10 @@ impl LogDisk {
                 Self::seg_image(&open.summary, &open.data, fill as usize, self.block_size);
             let start = summary_block(open.seg);
             open.flushed = fill;
-            self.dev.write_blocks(start, &image)?;
+            let (spans, sp) = self.open_span(disksim::SpanKind::LogAppend, "lld.seg_flush");
+            let r = self.dev.write_blocks(start, &image);
+            self.close_span(&spans, sp);
+            r?;
             self.promote_pending_frees();
             Ok(())
         }
@@ -692,7 +728,10 @@ impl LogDisk {
     fn write_open_image(&mut self, open: &OpenSeg) -> FsResult<()> {
         let fill = open.summary.fill as usize;
         let image = Self::seg_image(&open.summary, &open.data, fill, self.block_size);
-        self.dev.write_blocks(summary_block(open.seg), &image)?;
+        let (spans, sp) = self.open_span(disksim::SpanKind::LogAppend, "lld.seg_flush");
+        let r = self.dev.write_blocks(summary_block(open.seg), &image);
+        self.close_span(&spans, sp);
+        r?;
         Ok(())
     }
 
@@ -714,7 +753,10 @@ impl LogDisk {
         } else {
             self.ckpt_start
         };
-        self.dev.write_blocks(slot_start, &raw)?;
+        let (spans, sp) = self.open_span(disksim::SpanKind::LogAppend, "lld.checkpoint");
+        let r = self.dev.write_blocks(slot_start, &raw);
+        self.close_span(&spans, sp);
+        r?;
         // Only alternate once the write completed: a failed/torn write
         // leaves the other (older but valid) slot as the fallback.
         self.ckpt_next_b = !self.ckpt_next_b;
@@ -732,6 +774,16 @@ impl LogDisk {
     /// `VLFS_REFERENCE=1` routes the pick through the retained rescan
     /// oracle instead; debug builds cross-check the two on every pass.
     pub fn clean_some(&mut self, want: u32) -> FsResult<u32> {
+        // One span per cleaning pass; the victim reads, copy appends and
+        // their segment flushes all hang off it (the copies' own
+        // `LogAppend` child spans inherit the background classification).
+        let (spans, sp) = self.open_span(disksim::SpanKind::Compaction, "lld.clean");
+        let r = self.clean_some_inner(want);
+        self.close_span(&spans, sp);
+        r
+    }
+
+    fn clean_some_inner(&mut self, want: u32) -> FsResult<u32> {
         let mut cleaned = 0;
         while cleaned < want {
             let victim = if disksim::reference_mode() {
@@ -929,6 +981,10 @@ impl BlockDevice for LogDisk {
 
     fn inner_device(&self) -> Option<&dyn BlockDevice> {
         Some(self.dev.as_ref())
+    }
+
+    fn spans(&self) -> disksim::Spans {
+        self.dev.spans()
     }
 }
 

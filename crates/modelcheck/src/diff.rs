@@ -88,6 +88,18 @@ pub fn run_trace(
     trace: &TraceSpec,
     planted: &PlantedBug,
 ) -> Result<RunStats, Divergence> {
+    run_trace_recorded(cfg, trace, planted, None)
+}
+
+/// [`run_trace`] with an optional flight recorder attached to the raw
+/// device, so a failing episode leaves behind its span-annotated disk
+/// history (see [`crate::shrink::Reproducer`]).
+pub fn run_trace_recorded(
+    cfg: StackConfig,
+    trace: &TraceSpec,
+    planted: &PlantedBug,
+    rec: Option<&disksim::FlightRecorder>,
+) -> Result<RunStats, Divergence> {
     let mut plan = trace.fault_plan(stack::format_writes(cfg));
     if let PlantedBug::SilentCorruption { op, seed } = planted {
         plan = plan.with(
@@ -95,7 +107,7 @@ pub fn run_trace(
             WriteFault::Corrupt { seed: *seed },
         );
     }
-    let fs = stack::build(cfg, plan).map_err(|e| Divergence {
+    let fs = stack::build_recorded(cfg, plan, rec).map_err(|e| Divergence {
         step: None,
         op: None,
         what: format!("initial format failed: {e}"),

@@ -34,7 +34,7 @@ pub mod rng;
 pub mod shrink;
 pub mod stack;
 
-pub use diff::{run_trace, Divergence, PlantedBug, RunStats};
+pub use diff::{run_trace, run_trace_recorded, Divergence, PlantedBug, RunStats};
 pub use gen::{generate, McOp, TraceSpec};
 pub use model::RefModel;
 pub use shrink::{shrink, Reproducer};

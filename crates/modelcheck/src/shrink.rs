@@ -10,13 +10,18 @@
 
 use std::fmt;
 
-use crate::diff::{run_trace, Divergence, PlantedBug};
+use crate::diff::{run_trace, run_trace_recorded, Divergence, PlantedBug};
 use crate::gen::TraceSpec;
 use crate::stack::StackConfig;
 
 /// Ceiling on shrink re-executions, so pathological episodes still return
 /// promptly with a partially shrunk trace.
 const MAX_RUNS: u32 = 2000;
+
+/// Event-ring capacity of the failure flight recorder: the last N disk
+/// commands of the minimized episode, span-annotated. Shrunk traces are
+/// short, so this comfortably covers the interesting tail.
+const FLIGHT_EVENTS: usize = 256;
 
 /// Everything needed to replay a failure from scratch.
 #[derive(Debug, Clone)]
@@ -32,6 +37,11 @@ pub struct Reproducer {
     pub failure: Divergence,
     /// Episode re-executions the shrinker spent.
     pub runs: u32,
+    /// Span-annotated JSONL flight-recorder dump of one replay of the
+    /// minimized trace: span lines (keyed `"parent"`) then the last
+    /// [`FLIGHT_EVENTS`] disk events (keyed `"at"`, each stamped with the
+    /// span open when the command was issued).
+    pub flight: String,
 }
 
 impl fmt::Display for Reproducer {
@@ -49,7 +59,19 @@ impl fmt::Display for Reproducer {
             self.trace.ops.len(),
             self.runs
         )?;
-        write!(f, "{}", self.trace)
+        write!(f, "{}", self.trace)?;
+        if !self.flight.is_empty() {
+            let spans = self.flight.lines().filter(|l| l.contains("\"parent\":")).count();
+            let events = self.flight.lines().count() - spans;
+            writeln!(
+                f,
+                "  flight recorder ({spans} span(s), last {events} disk event(s)):"
+            )?;
+            for line in self.flight.lines() {
+                writeln!(f, "    {line}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -100,5 +122,13 @@ pub fn shrink(
         }
     }
 
-    Reproducer { cfg, seed, trace: best, failure, runs }
+    // One last replay of the minimized trace with a flight recorder on the
+    // raw device: the report then shows the span-annotated disk history
+    // (which FS op or background pass issued each command) leading to the
+    // failure. The replay is deterministic, so the dump is too.
+    let recorder = disksim::FlightRecorder::with_capacity(FLIGHT_EVENTS);
+    let _ = run_trace_recorded(cfg, &best, planted, Some(&recorder));
+    let flight = recorder.dump();
+
+    Reproducer { cfg, seed, trace: best, failure, runs, flight }
 }

@@ -106,12 +106,34 @@ fn ufs_cfg(lfs: bool) -> UfsConfig {
 
 /// Build a freshly formatted stack with `plan` armed in its fault layer.
 pub fn build(cfg: StackConfig, plan: FaultPlan) -> FsResult<Ufs> {
+    build_recorded(cfg, plan, None)
+}
+
+/// [`build`] with an optional flight recorder: its event ring and span
+/// table are attached to the raw device before the stack is formatted.
+/// Both live on the mechanical [`Disk`], which survives teardown, so one
+/// recorder covers format, workload, crash and the recovery that follows.
+pub fn build_recorded(
+    cfg: StackConfig,
+    plan: FaultPlan,
+    rec: Option<&disksim::FlightRecorder>,
+) -> FsResult<Ufs> {
     let clock = SimClock::new();
     let host = HostModel::instant();
     let raw: Box<dyn disksim::BlockDevice> = if cfg.on_vld() {
-        Box::new(Vld::format(spec(), clock, vld_cfg()))
+        let mut vld = Vld::format(spec(), clock, vld_cfg());
+        if let Some(r) = rec {
+            vld.set_observability(Some(r.tracer.clone()), disksim::Metrics::default());
+            vld.set_spans(r.spans.clone());
+        }
+        Box::new(vld)
     } else {
-        Box::new(RegularDisk::new(spec(), clock, BLOCK))
+        let mut rd = RegularDisk::new(spec(), clock, BLOCK);
+        if let Some(r) = rec {
+            rd.disk_mut().set_tracer(Some(r.tracer.clone()));
+            rd.disk_mut().set_spans(r.spans.clone());
+        }
+        Box::new(rd)
     };
     let faulted = Box::new(FaultDisk::new(raw, plan));
     let dev: Box<dyn disksim::BlockDevice> = if cfg.is_lfs() {
@@ -182,6 +204,11 @@ pub fn remount(
     plan: FaultPlan,
 ) -> FsResult<(Ufs, Option<RecoveryReport>)> {
     let host = HostModel::instant();
+    // Spans left open by the crash (an interrupted FsOp, a mid-flight
+    // compaction) are closed here so the recovery spans opened below attach
+    // at the root rather than under a dead foreground op. No-op when no
+    // flight recorder is attached.
+    disk.spans().close_all(disk.clock().now());
     let (raw, report): (Box<dyn disksim::BlockDevice>, Option<RecoveryReport>) = if cfg.on_vld() {
         let (vld, rep) =
             Vld::recover(disk, spec().command_overhead_ns, vld_cfg()).map_err(FsError::Disk)?;

@@ -148,4 +148,14 @@ fn planted_corruption_is_caught_shrunk_and_replayable() {
     let report = repro.to_string();
     assert!(report.contains("VLFS_SEED"), "report must echo the seed:\n{report}");
     assert!(report.contains("ufs-regular"), "report must name the stack:\n{report}");
+    // The flight recorder rode along on the final replay: the report must
+    // carry span lines and span-stamped disk events from the failing run.
+    assert!(
+        report.contains("flight recorder") && report.contains("\"parent\":"),
+        "report must include the span-annotated flight dump:\n{report}"
+    );
+    assert!(
+        report.contains("\"at\":") && report.contains("\"span\":"),
+        "flight dump must contain span-stamped disk events:\n{report}"
+    );
 }

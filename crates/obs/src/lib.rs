@@ -21,6 +21,13 @@
 //!   recording call a no-op after one branch, so instrumented hot paths pay
 //!   nothing in ordinary runs.
 //!
+//! On top of these, [`Spans`] builds a causal forest attributing each disk
+//! command's busy time to the file-system operation (or background
+//! compaction/recovery pass) that caused it, and [`FlightRecorder`] pairs a
+//! bounded event ring with a span table as a black box for the failure
+//! harnesses. Both follow the same disabled-by-default, one-branch-cost
+//! discipline.
+//!
 //! Exporters are deliberately dependency-free (the workspace builds
 //! offline): JSONL for traces, a flat hand-rolled JSON object and a
 //! human-readable table for metrics.
@@ -30,7 +37,9 @@
 //! never the reverse.
 
 pub mod metrics;
+pub mod span;
 pub mod trace;
 
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use span::{FlightRecorder, SpanKind, SpanRecord, Spans};
 pub use trace::{OpKind, TraceEvent, Tracer};

@@ -301,27 +301,38 @@ impl MetricsSnapshot {
     }
 
     /// Flat JSON object: `counters.*` and `gauges.*` scalars plus
-    /// `hist.<name>.{count,sum,mean,p50,p90,p99,max}` per histogram. Key
-    /// order follows the BTreeMaps, so output is deterministic.
+    /// `hist.<name>.{count,sum,mean,p50,p90,p99,max}` per histogram. All
+    /// flat keys are emitted in one globally sorted order, so output is
+    /// fully deterministic and diffable regardless of which group a key
+    /// belongs to.
     pub fn to_json(&self) -> String {
-        let mut parts: Vec<String> = Vec::new();
+        let mut parts: Vec<(String, String)> = Vec::new();
         for (name, v) in &self.counters {
-            parts.push(format!("\"counters.{name}\": {v}"));
+            parts.push((format!("counters.{name}"), v.to_string()));
         }
         for (name, v) in &self.gauges {
-            parts.push(format!("\"gauges.{name}\": {v}"));
+            parts.push((format!("gauges.{name}"), v.to_string()));
         }
         for (name, h) in &self.histograms {
-            parts.push(format!("\"hist.{name}.count\": {}", h.count()));
-            parts.push(format!("\"hist.{name}.sum\": {}", h.sum()));
-            parts.push(format!("\"hist.{name}.mean\": {}", h.mean()));
-            parts.push(format!("\"hist.{name}.p50\": {}", h.p50()));
-            parts.push(format!("\"hist.{name}.p90\": {}", h.p90()));
-            parts.push(format!("\"hist.{name}.p99\": {}", h.p99()));
-            parts.push(format!("\"hist.{name}.max\": {}", h.max()));
+            for (sub, v) in [
+                ("count", h.count()),
+                ("sum", h.sum()),
+                ("mean", h.mean()),
+                ("p50", h.p50()),
+                ("p90", h.p90()),
+                ("p99", h.p99()),
+                ("max", h.max()),
+            ] {
+                parts.push((format!("hist.{name}.{sub}"), v.to_string()));
+            }
         }
+        parts.sort_by(|a, b| a.0.cmp(&b.0));
         let mut out = String::from("{\n");
-        out.push_str(&parts.join(",\n"));
+        let body: Vec<String> = parts
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        out.push_str(&body.join(",\n"));
         out.push_str("\n}\n");
         out
     }
@@ -434,5 +445,31 @@ mod tests {
         assert!(j.contains("\"hist.lat.count\": 1"));
         assert!(j.trim_start().starts_with('{'));
         assert!(j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn json_keys_are_globally_sorted() {
+        let m = Metrics::enabled();
+        m.add("z", 1);
+        m.gauge("a", 2);
+        m.observe("mid", 3);
+        m.observe("aaa", 4);
+        let j = m.to_json();
+        let keys: Vec<&str> = j
+            .lines()
+            .filter_map(|l| {
+                let l = l.trim().trim_start_matches('\"');
+                l.split('\"').next().filter(|k| k.contains('.'))
+            })
+            .collect();
+        assert!(!keys.is_empty());
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "flat keys must be emitted in sorted order");
+        // Histogram subkeys sort alphabetically within their histogram.
+        let ic = j.find("\"hist.aaa.count\"").unwrap();
+        let im = j.find("\"hist.aaa.max\"").unwrap();
+        let is_ = j.find("\"hist.aaa.sum\"").unwrap();
+        assert!(ic < im && im < is_);
     }
 }

@@ -55,6 +55,9 @@ pub struct TraceEvent {
     pub kind: OpKind,
     /// Index into the tracer's label table ([`Tracer::set_scope`]).
     pub scope: u16,
+    /// Id of the causal span the operation was attributed to (0 when no
+    /// span was open — see [`crate::span::Spans`]).
+    pub span: u32,
     /// First logical sector addressed (0 for bare seeks).
     pub lba: u64,
     /// Sectors transferred (0 for bare seeks).
@@ -95,13 +98,14 @@ impl TraceEvent {
         let mut s = String::with_capacity(192);
         let _ = write!(
             s,
-            "{{\"at\":{},\"kind\":\"{}\",\"scope\":\"{}\",\"lba\":{},\"sectors\":{},\
+            "{{\"at\":{},\"kind\":\"{}\",\"scope\":\"{}\",\"span\":{},\"lba\":{},\"sectors\":{},\
              \"cyl\":{},\"track\":{},\"sector\":{},\"seek_cyls\":{},\
              \"overhead_ns\":{},\"seek_ns\":{},\"head_switch_ns\":{},\
              \"rotation_ns\":{},\"transfer_ns\":{}}}",
             self.at_ns,
             self.kind.as_str(),
             scope,
+            self.span,
             self.lba,
             self.sectors,
             self.cyl,
@@ -250,6 +254,7 @@ mod tests {
             at_ns: at,
             kind: OpKind::Write,
             scope: 0,
+            span: 0,
             lba: 8,
             sectors: 8,
             cyl: 1,

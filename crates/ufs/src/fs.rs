@@ -102,6 +102,10 @@ pub struct Ufs {
     sync_data: bool,
     /// Observability sink (disabled by default — a single branch per use).
     metrics: disksim::Metrics,
+    /// Causal-span handle shared with the device stack below (cloned from
+    /// [`BlockDevice::spans`] at construction, so spans opened here are the
+    /// attribution targets for the disk commands the stack issues).
+    spans: disksim::Spans,
 }
 
 impl Ufs {
@@ -113,6 +117,7 @@ impl Ufs {
             "UFS expects 4 KB device blocks"
         );
         let layout = Layout::compute(dev.num_blocks(), cfg.inode_count)?;
+        let spans = dev.spans();
         let mut fs = Ufs {
             dev,
             host,
@@ -131,20 +136,31 @@ impl Ufs {
             dirty_ptrs: std::collections::BTreeSet::new(),
             sync_data: cfg.sync_data,
             metrics: disksim::Metrics::default(),
+            spans,
         };
         // Superblock, root inode, bitmaps.
+        let sp = fs.span_open(disksim::SpanKind::FsOp, "ufs.format");
         fs.dev.write_block(0, &layout.encode())?;
         fs.inode_bm.set(ROOT_INO as u64);
         fs.put_inode(ROOT_INO, &Inode::empty_dir(), true)?;
         fs.dir_slots.insert(ROOT_INO, Vec::new());
         fs.child_count.insert(ROOT_INO, 0);
         fs.flush_bitmaps()?;
+        fs.span_close(sp);
         Ok(fs)
     }
 
     /// Mount an existing file system, rebuilding in-memory state from disk.
     pub fn mount(mut dev: Box<dyn BlockDevice>, host: HostModel) -> FsResult<Ufs> {
         assert_eq!(dev.block_size(), BLOCK_SIZE);
+        // Superblock/bitmap loads, the directory walk and the bitmap
+        // reconciliation are all recovery-path reads.
+        let spans = dev.spans();
+        let sp = if spans.is_enabled() {
+            spans.open(disksim::SpanKind::Recovery, "ufs.mount", dev.clock().now())
+        } else {
+            0
+        };
         let mut sb = vec![0u8; BLOCK_SIZE];
         dev.read_block(0, &mut sb)?;
         let layout = Layout::decode(&sb)?;
@@ -183,9 +199,11 @@ impl Ufs {
             dirty_ptrs: std::collections::BTreeSet::new(),
             sync_data: cfg.sync_data,
             metrics: disksim::Metrics::default(),
+            spans: spans.clone(),
         };
         fs.load_directories()?;
         fs.reconcile_bitmaps()?;
+        fs.span_close(sp);
         Ok(fs)
     }
 
@@ -280,6 +298,23 @@ impl Ufs {
         self.update_cache_gauges();
     }
 
+    /// Open a causal span at the current device clock. Returns 0 (no span,
+    /// nothing to close) when span tracing is disabled — one branch of cost.
+    fn span_open(&self, kind: disksim::SpanKind, label: &'static str) -> u32 {
+        if self.spans.is_enabled() {
+            self.spans.open(kind, label, self.dev.clock().now())
+        } else {
+            0
+        }
+    }
+
+    /// Close a span previously opened by [`Ufs::span_open`].
+    fn span_close(&self, sp: u32) {
+        if sp != 0 {
+            self.spans.close(sp, self.dev.clock().now());
+        }
+    }
+
     /// Refresh the cache gauges from the buffer cache's own counters.
     fn update_cache_gauges(&self) {
         if !self.metrics.is_enabled() {
@@ -303,15 +338,22 @@ impl Ufs {
             // drain it all at once; clean blocks then evict for free.
             self.flush_dirty_sorted()?;
         }
+        let mut sp = 0;
         while self.cache.is_full() && !self.cache.contains(blk) {
             let (vb, vd, vdirty) = self
                 .cache
                 .evict_lru_prefer_clean()
                 .expect("full cache is non-empty");
             if vdirty {
+                // Open lazily: most evictions find a clean victim and touch
+                // no disk, so they should not mint a span record.
+                if sp == 0 {
+                    sp = self.span_open(disksim::SpanKind::CacheFlush, "ufs.evict");
+                }
                 self.dev.write_block(vb, &vd)?;
             }
         }
+        self.span_close(sp);
         self.cache.insert(blk, data, dirty);
         Ok(())
     }
@@ -723,6 +765,22 @@ impl Ufs {
     fn flush_dirty_sorted(&mut self) -> FsResult<()> {
         let dirty = self.cache.take_dirty_sorted();
         self.host.charge(&self.dev.clock(), dirty.len() as u64);
+        // Only mint a span when there is actually something to write back.
+        let sp = if dirty.is_empty() {
+            0
+        } else {
+            self.span_open(disksim::SpanKind::CacheFlush, "ufs.flush")
+        };
+        let r = self.flush_runs(&dirty);
+        self.span_close(sp);
+        r?;
+        self.update_cache_gauges();
+        Ok(())
+    }
+
+    /// Write a sorted dirty-block list as clustered runs (the I/O half of
+    /// [`Ufs::flush_dirty_sorted`], split out so the flush span brackets it).
+    fn flush_runs(&mut self, dirty: &[u64]) -> FsResult<()> {
         let mut i = 0;
         while i < dirty.len() {
             let mut j = i + 1;
@@ -738,7 +796,6 @@ impl Ufs {
             self.dev.write_blocks(dirty[i], &run)?;
             i = j;
         }
-        self.update_cache_gauges();
         Ok(())
     }
 
@@ -770,38 +827,23 @@ impl Ufs {
         }
         Ok(())
     }
-}
 
-impl FileSystem for Ufs {
-    fn create(&mut self, name: &str) -> FsResult<FileId> {
-        self.host.charge(&self.dev.clock(), 0);
-        let entry = self.create_entry(name, false)?;
-        let h = self.next_handle;
-        self.next_handle += 1;
-        self.handles.insert(h, entry.ino);
-        Ok(h)
-    }
+    // ----- FsOp bodies ---------------------------------------------------
+    //
+    // The `FileSystem` entry points below are thin span wrappers around
+    // these inner methods so `?` early returns cannot leak an open span.
 
-    fn mkdir(&mut self, path: &str) -> FsResult<()> {
-        self.host.charge(&self.dev.clock(), 0);
-        self.create_entry(path, true)?;
+    fn sync_inner(&mut self) -> FsResult<()> {
+        self.flush_dirty_sorted()?;
+        self.flush_bitmaps()?;
+        // Let the device persist its own buffered state (the LLD's
+        // partial-segment flush and checkpoint; a no-op for write-through
+        // devices).
+        self.dev.flush()?;
         Ok(())
     }
 
-    fn open(&mut self, name: &str) -> FsResult<FileId> {
-        self.host.charge(&self.dev.clock(), 0);
-        let path = Self::normalize(name)?;
-        let e = *self.names.get(&path).ok_or(FsError::NotFound)?;
-        if e.is_dir {
-            return Err(FsError::Invalid("is a directory"));
-        }
-        let h = self.next_handle;
-        self.next_handle += 1;
-        self.handles.insert(h, e.ino);
-        Ok(h)
-    }
-
-    fn write(&mut self, f: FileId, offset: u64, data: &[u8]) -> FsResult<()> {
+    fn write_inner(&mut self, f: FileId, offset: u64, data: &[u8]) -> FsResult<()> {
         let ino = self.ino_of(f)?;
         let blocks = (data.len() as u64).div_ceil(BLOCK_SIZE as u64);
         self.host.charge(&self.dev.clock(), blocks);
@@ -877,7 +919,7 @@ impl FileSystem for Ufs {
         Ok(())
     }
 
-    fn read(&mut self, f: FileId, offset: u64, out: &mut [u8]) -> FsResult<usize> {
+    fn read_inner(&mut self, f: FileId, offset: u64, out: &mut [u8]) -> FsResult<usize> {
         let ino = self.ino_of(f)?;
         let blocks = (out.len() as u64).div_ceil(BLOCK_SIZE as u64);
         self.host.charge(&self.dev.clock(), blocks);
@@ -921,7 +963,7 @@ impl FileSystem for Ufs {
         Ok(want)
     }
 
-    fn delete(&mut self, name: &str) -> FsResult<()> {
+    fn delete_inner(&mut self, name: &str) -> FsResult<()> {
         self.host.charge(&self.dev.clock(), 0);
         let path = Self::normalize(name)?;
         let e = *self.names.get(&path).ok_or(FsError::NotFound)?;
@@ -981,7 +1023,7 @@ impl FileSystem for Ufs {
         Ok(())
     }
 
-    fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+    fn rename_inner(&mut self, from: &str, to: &str) -> FsResult<()> {
         self.host.charge(&self.dev.clock(), 0);
         let from = Self::normalize(from)?;
         let to = Self::normalize(to)?;
@@ -1019,6 +1061,70 @@ impl FileSystem for Ufs {
         );
         Ok(())
     }
+}
+
+impl FileSystem for Ufs {
+    fn create(&mut self, name: &str) -> FsResult<FileId> {
+        self.host.charge(&self.dev.clock(), 0);
+        let sp = self.span_open(disksim::SpanKind::FsOp, "ufs.create");
+        let r = self.create_entry(name, false);
+        self.span_close(sp);
+        let entry = r?;
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.handles.insert(h, entry.ino);
+        Ok(h)
+    }
+
+    fn mkdir(&mut self, path: &str) -> FsResult<()> {
+        self.host.charge(&self.dev.clock(), 0);
+        let sp = self.span_open(disksim::SpanKind::FsOp, "ufs.mkdir");
+        let r = self.create_entry(path, true);
+        self.span_close(sp);
+        r?;
+        Ok(())
+    }
+
+    fn open(&mut self, name: &str) -> FsResult<FileId> {
+        self.host.charge(&self.dev.clock(), 0);
+        let path = Self::normalize(name)?;
+        let e = *self.names.get(&path).ok_or(FsError::NotFound)?;
+        if e.is_dir {
+            return Err(FsError::Invalid("is a directory"));
+        }
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.handles.insert(h, e.ino);
+        Ok(h)
+    }
+
+    fn write(&mut self, f: FileId, offset: u64, data: &[u8]) -> FsResult<()> {
+        let sp = self.span_open(disksim::SpanKind::FsOp, "ufs.write");
+        let r = self.write_inner(f, offset, data);
+        self.span_close(sp);
+        r
+    }
+
+    fn read(&mut self, f: FileId, offset: u64, out: &mut [u8]) -> FsResult<usize> {
+        let sp = self.span_open(disksim::SpanKind::FsOp, "ufs.read");
+        let r = self.read_inner(f, offset, out);
+        self.span_close(sp);
+        r
+    }
+
+    fn delete(&mut self, name: &str) -> FsResult<()> {
+        let sp = self.span_open(disksim::SpanKind::FsOp, "ufs.delete");
+        let r = self.delete_inner(name);
+        self.span_close(sp);
+        r
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+        let sp = self.span_open(disksim::SpanKind::FsOp, "ufs.rename");
+        let r = self.rename_inner(from, to);
+        self.span_close(sp);
+        r
+    }
 
     fn file_size(&mut self, f: FileId) -> FsResult<u64> {
         let ino = self.ino_of(f)?;
@@ -1027,13 +1133,10 @@ impl FileSystem for Ufs {
 
     fn sync(&mut self) -> FsResult<()> {
         self.host.charge(&self.dev.clock(), 0);
-        self.flush_dirty_sorted()?;
-        self.flush_bitmaps()?;
-        // Let the device persist its own buffered state (the LLD's
-        // partial-segment flush and checkpoint; a no-op for write-through
-        // devices).
-        self.dev.flush()?;
-        Ok(())
+        let sp = self.span_open(disksim::SpanKind::FsOp, "ufs.sync");
+        let r = self.sync_inner();
+        self.span_close(sp);
+        r
     }
 
     fn drop_caches(&mut self) {
@@ -1053,6 +1156,11 @@ impl FileSystem for Ufs {
             // a later burst finds the buffer empty — with enough idle, the
             // flush (and any cleaning it triggers below) is entirely masked
             // and the foreground runs at memory speed.
+            let sp = if self.cache.dirty_count() > 0 {
+                self.span_open(disksim::SpanKind::CacheFlush, "ufs.idle_writeback")
+            } else {
+                0
+            };
             while clock.now() < end && self.cache.dirty_count() > 0 {
                 let dirty = self.cache.take_dirty_sorted();
                 for blk in dirty {
@@ -1071,6 +1179,7 @@ impl FileSystem for Ufs {
                     break;
                 }
             }
+            self.span_close(sp);
             self.update_cache_gauges();
         }
         let remaining = end.saturating_sub(clock.now());
