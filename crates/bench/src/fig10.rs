@@ -8,8 +8,8 @@
 //! intervals".
 
 use crate::format_table;
-use crate::setup::{make_system, DevKind, DiskKind, FsKind};
-use crate::workload::{make_file, rng, BLOCK};
+use crate::setup::{aged_system, AgedSpec, DevKind, DiskKind, FsKind};
+use crate::workload::{rng, BLOCK};
 use fscore::{FileId, FileSystem, FsResult, HostModel};
 use rand::Rng;
 
@@ -50,13 +50,14 @@ pub fn burst_idle_bench(
     Ok(busy as f64 / written as f64 / 1e6)
 }
 
-/// Build the LFS-at-80 %-utilisation system and its target file.
-fn setup(host: HostModel) -> FsResult<(ufs::Ufs, FileId, u64)> {
-    let mut fs = make_system(FsKind::Lfs, DevKind::Regular, DiskKind::Seagate, host)?;
-    let usable = fs.free_blocks();
-    let file_blocks = (usable as f64 * 0.8) as u64;
-    let f = make_file(&mut fs, "target", file_blocks * BLOCK as u64)?;
-    Ok((fs, f, file_blocks))
+/// The aged state every cell starts from: LFS at 80 % utilisation, warmed
+/// by one NVRAM-cycling burst. Built once, forked per cell.
+fn spec(host: HostModel, total_blocks: u64) -> AgedSpec {
+    AgedSpec {
+        // Warm up: cycle the NVRAM once.
+        warmup_blocks: 2000.min(total_blocks),
+        ..AgedSpec::new(FsKind::Lfs, DevKind::Regular, DiskKind::Seagate, host, 0.8)
+    }
 }
 
 /// Measure one series (burst size fixed, idle varied).
@@ -69,10 +70,8 @@ pub fn series(
     idles_s
         .iter()
         .map(|&idle| {
-            let (mut fs, f, file_blocks) = setup(host).expect("setup");
-            // Warm up: cycle the NVRAM once.
-            let warm = 2000.min(total_blocks);
-            burst_idle_bench(&mut fs, f, file_blocks, warm, 0, warm, 7).expect("warmup");
+            let (mut fs, f, file_blocks) =
+                aged_system(&spec(host, total_blocks)).expect("setup");
             let ms = burst_idle_bench(
                 &mut fs,
                 f,

@@ -8,20 +8,22 @@
 
 use crate::fig10::burst_idle_bench;
 use crate::format_table;
-use crate::setup::{make_system, DevKind, DiskKind, FsKind};
-use crate::workload::{make_file, BLOCK};
-use fscore::{FileId, FileSystem, FsResult, HostModel};
+use crate::setup::{aged_system, AgedSpec, DevKind, DiskKind, FsKind};
+use crate::workload::BLOCK;
+use fscore::HostModel;
 
 /// The paper's burst sizes for this figure (KB).
 pub const BURSTS_KB: [u64; 6] = [128, 256, 512, 1024, 2048, 4096];
 
-fn setup(host: HostModel) -> FsResult<(ufs::Ufs, FileId, u64)> {
-    let mut fs = make_system(FsKind::Ufs, DevKind::Vld, DiskKind::Seagate, host)?;
-    let usable = fs.free_blocks();
-    let file_blocks = (usable as f64 * 0.8) as u64;
-    let f = make_file(&mut fs, "target", file_blocks * BLOCK as u64)?;
-    fs.set_sync_writes(true);
-    Ok((fs, f, file_blocks))
+/// The aged state every cell starts from: synchronous UFS on the VLD at
+/// 80 % utilisation, warmed by one update burst. Built once, forked per
+/// cell.
+fn spec(host: HostModel, total_blocks: u64) -> AgedSpec {
+    AgedSpec {
+        sync_writes: true,
+        warmup_blocks: 1000.min(total_blocks),
+        ..AgedSpec::new(FsKind::Ufs, DevKind::Vld, DiskKind::Seagate, host, 0.8)
+    }
 }
 
 /// Measure one series (burst size fixed, idle varied).
@@ -34,9 +36,8 @@ pub fn series(
     idles_s
         .iter()
         .map(|&idle| {
-            let (mut fs, f, file_blocks) = setup(host).expect("setup");
-            let warm = 1000.min(total_blocks);
-            burst_idle_bench(&mut fs, f, file_blocks, warm, 0, warm, 7).expect("warmup");
+            let (mut fs, f, file_blocks) =
+                aged_system(&spec(host, total_blocks)).expect("setup");
             let ms = burst_idle_bench(
                 &mut fs,
                 f,

@@ -9,8 +9,8 @@
 //! being updated and reported `df`-style.
 
 use crate::format_table;
-use crate::setup::{make_system, DevKind, DiskKind, FsKind};
-use crate::workload::{make_file, steady_state_update_ms, BLOCK};
+use crate::setup::{aged_system, AgedSpec, DevKind, DiskKind, FsKind};
+use crate::workload::steady_state_update_ms;
 use fscore::{FileSystem, FsResult, HostModel};
 
 /// One measured point for one system.
@@ -58,13 +58,13 @@ pub fn measure_point(
         System::UfsVld => (FsKind::Ufs, DevKind::Vld),
         System::LfsNvram => (FsKind::Lfs, DevKind::Regular),
     };
-    let mut fs = make_system(fs_kind, dev, disk, host)?;
-    let usable = fs.free_blocks();
-    let file_blocks = ((usable as f64) * frac) as u64;
-    let f = make_file(&mut fs, "target", file_blocks * BLOCK as u64)?;
-    if matches!(system, System::UfsRegular | System::UfsVld) {
-        fs.set_sync_writes(true);
-    }
+    // No built-in warm-up: this figure's warm-up shares the measurement RNG
+    // stream, so it stays on the measured side of the snapshot.
+    let spec = AgedSpec {
+        sync_writes: matches!(system, System::UfsRegular | System::UfsVld),
+        ..AgedSpec::new(fs_kind, dev, disk, host, frac)
+    };
+    let (mut fs, f, file_blocks) = aged_system(&spec)?;
     let util_pct = fs.utilization() * 100.0;
     // LFS amortises its flush/clean cycles over ~1.5k-update periods, so it
     // needs several cycles of measurement to reach steady state; updates

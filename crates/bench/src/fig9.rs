@@ -7,8 +7,8 @@
 //! compactor run.
 
 use crate::format_table;
-use crate::setup::{make_system, DevKind, DiskKind, FsKind};
-use crate::workload::{make_file, random_updates, rng, BLOCK};
+use crate::setup::{aged_system, AgedSpec, DevKind, DiskKind, FsKind};
+use crate::workload::{random_updates, rng};
 use fscore::{FileSystem, FsResult, HostModel};
 
 /// Mean per-update latency components, in milliseconds.
@@ -33,22 +33,18 @@ impl Breakdown {
 
 /// Measure the breakdown for UFS on the given device at ~80 % utilisation.
 pub fn measure(dev: DevKind, disk: DiskKind, host: HostModel, updates: u64) -> FsResult<Breakdown> {
-    let mut fs = match dev {
-        DevKind::Regular => make_system(FsKind::Ufs, dev, disk, host)?,
-        DevKind::Vld => {
-            // Footnote 1 of the paper: the VLD is measured "immediately
-            // after running a compactor" — so provision an empty-track pool
-            // large enough to cover the measured window.
-            let mut cfg = vlog_core::VldConfig::default();
-            cfg.compactor.target_empty_tracks = 40;
-            let vld = vlog_core::Vld::format(disk.spec(), disksim::SimClock::new(), cfg);
-            ufs::Ufs::format(Box::new(vld), host, ufs::UfsConfig::default())?
-        }
+    // Footnote 1 of the paper: the VLD is measured "immediately after
+    // running a compactor" — so provision an empty-track pool large enough
+    // to cover the measured window.
+    let spec = AgedSpec {
+        sync_writes: true,
+        vld_target_empty_tracks: match dev {
+            DevKind::Regular => None,
+            DevKind::Vld => Some(40),
+        },
+        ..AgedSpec::new(FsKind::Ufs, dev, disk, host, 0.8)
     };
-    let usable = fs.free_blocks();
-    let file_blocks = (usable as f64 * 0.8) as u64;
-    let f = make_file(&mut fs, "target", file_blocks * BLOCK as u64)?;
-    fs.set_sync_writes(true);
+    let (mut fs, f, file_blocks) = aged_system(&spec)?;
     let mut r = rng(0xF19);
     // Warm up, then replenish the compactor's pool so every measured chunk
     // runs right after a compaction pass, as in the paper. Idle grants are

@@ -1,15 +1,25 @@
 //! Construction of the paper's system combinations (its Figure 5): a file
 //! system (UFS or LFS) over a device (regular disk or VLD) on a simulated
-//! drive (HP97560 or Seagate ST19101), timed against a host model.
+//! drive (HP97560 or Seagate ST19101), timed against a host model — plus
+//! the *aged-system cache*: every figure cell that starts from "system with
+//! an aged file at some utilisation" describes that state as an
+//! [`AgedSpec`], and [`aged_system`] builds each distinct state once,
+//! snapshots it ([`ufs::UfsSnapshot`]), and hands every cell an independent
+//! copy-on-write fork instead of re-running the setup workload per cell.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use disksim::{BlockDevice, DiskSpec, RegularDisk, SimClock};
-use fscore::{FsResult, HostModel};
+use fscore::{FileId, FileSystem, FsResult, HostModel};
 use lfs::{lfs_filesystem, LfsConfig};
-use ufs::{Ufs, UfsConfig};
+use ufs::{Ufs, UfsConfig, UfsSnapshot};
 use vlog_core::{Vld, VldConfig};
 
+use crate::workload::{make_file, BLOCK};
+
 /// Which simulated drive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DiskKind {
     /// The 1990 HP97560 (36-cylinder simulated slice).
     Hp,
@@ -36,7 +46,7 @@ impl DiskKind {
 }
 
 /// Which block device exports the drive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DevKind {
     /// Update-in-place (logical block = fixed physical location).
     Regular,
@@ -55,7 +65,7 @@ impl DevKind {
 }
 
 /// Which file system runs on top.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FsKind {
     /// Update-in-place UFS (synchronous metadata).
     Ufs,
@@ -94,6 +104,229 @@ pub fn make_system(fs: FsKind, dev: DevKind, disk: DiskKind, host: HostModel) ->
 /// A configuration label like "UFS on VLD".
 pub fn combo_label(fs: FsKind, dev: DevKind) -> String {
     format!("{} on {}", fs.label(), dev.label())
+}
+
+/// A complete description of the aged state a figure cell starts from: the
+/// system combination, the single target file's size as a fraction of
+/// usable capacity, whether writes are synchronous, and any deterministic
+/// warm-up applied before measurement begins. Two cells with equal specs
+/// start from byte-identical states, which is what lets [`aged_system`]
+/// build the state once and fork it per cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgedSpec {
+    /// File system on top.
+    pub fs: FsKind,
+    /// Block device in the middle.
+    pub dev: DevKind,
+    /// Simulated drive at the bottom.
+    pub disk: DiskKind,
+    /// Host CPU cost model.
+    pub host: HostModel,
+    /// Target-file size as a fraction of usable capacity.
+    pub file_frac: f64,
+    /// Flip [`FileSystem::set_sync_writes`] before any warm-up.
+    pub sync_writes: bool,
+    /// Random 4 KB updates (seed 7) applied after file creation; 0 skips
+    /// the warm-up (figures whose warm-up shares the measurement RNG
+    /// stream keep it on the measured side of the snapshot).
+    pub warmup_blocks: u64,
+    /// Override the VLD compactor's empty-track pool target (Figure 9's
+    /// measured-after-compaction footnote). Ignored on a regular disk.
+    pub vld_target_empty_tracks: Option<u32>,
+}
+
+impl AgedSpec {
+    /// The common shape: default device configs, no warm-up.
+    pub fn new(fs: FsKind, dev: DevKind, disk: DiskKind, host: HostModel, file_frac: f64) -> Self {
+        Self {
+            fs,
+            dev,
+            disk,
+            host,
+            file_frac,
+            sync_writes: false,
+            warmup_blocks: 0,
+            vld_target_empty_tracks: None,
+        }
+    }
+
+    /// Content key for the snapshot cache (the fraction keyed by its bits —
+    /// specs compare equal exactly when they build equal states).
+    fn key(&self) -> AgedKey {
+        (
+            self.fs,
+            self.dev,
+            self.disk,
+            self.host,
+            self.file_frac.to_bits(),
+            self.sync_writes,
+            self.warmup_blocks,
+            self.vld_target_empty_tracks,
+        )
+    }
+}
+
+type AgedKey = (
+    FsKind,
+    DevKind,
+    DiskKind,
+    HostModel,
+    u64,
+    bool,
+    u64,
+    Option<u32>,
+);
+
+/// A cached aged build: the snapshot plus the handle and size of the
+/// target file inside it (both identical in every fork by construction).
+struct CachedAged {
+    snap: UfsSnapshot,
+    file: FileId,
+    file_blocks: u64,
+}
+
+/// Per-key build cells: concurrent workers asking for the same key block on
+/// one `OnceLock` while the first builds (the build is deterministic, so it
+/// does not matter which worker wins). `None` records a state whose device
+/// stack cannot snapshot — those keys fall back to rebuilding per cell.
+struct CacheEntry {
+    cell: Arc<OnceLock<Option<CachedAged>>>,
+    last_use: u64,
+}
+
+/// The aged cache holds at most this many snapshots. A snapshot retains
+/// the aged system's full media image and buffer cache (tens of MB), and
+/// figures like Figure 8 mint a fresh single-use key per cell — an
+/// unbounded cache would pin hundreds of MB of dead state for the rest of
+/// the run, whose live heap chunks measurably slow every later build. The
+/// cap only needs to cover the largest genuinely-shared working set
+/// (Table 2 + Figure 9 reuse six keys across sections); eviction can never
+/// change results, only cost a rebuild on a later miss.
+const AGED_CACHE_CAP: usize = 8;
+
+struct AgedCache {
+    map: HashMap<AgedKey, CacheEntry>,
+    tick: u64,
+}
+
+fn cache() -> &'static Mutex<AgedCache> {
+    static CACHE: OnceLock<Mutex<AgedCache>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(AgedCache {
+            map: HashMap::new(),
+            tick: 0,
+        })
+    })
+}
+
+/// Fetch (or insert) the build cell for `key`, bumping its LRU stamp and
+/// evicting the stalest *initialised* entry if the cache is over
+/// [`AGED_CACHE_CAP`]. In-flight cells (some worker is still building) are
+/// never evicted; a worker already holding an evicted cell's `Arc` simply
+/// finishes with it.
+fn cache_cell(key: AgedKey) -> Arc<OnceLock<Option<CachedAged>>> {
+    let mut c = cache().lock().expect("aged cache poisoned");
+    c.tick += 1;
+    let tick = c.tick;
+    if !c.map.contains_key(&key) && c.map.len() >= AGED_CACHE_CAP {
+        let evict = c
+            .map
+            .iter()
+            .filter(|(_, e)| e.cell.get().is_some())
+            .min_by_key(|(_, e)| e.last_use)
+            .map(|(k, _)| *k);
+        if let Some(k) = evict {
+            c.map.remove(&k);
+        }
+    }
+    let entry = c.map.entry(key).or_insert_with(|| CacheEntry {
+        cell: Arc::default(),
+        last_use: tick,
+    });
+    entry.last_use = tick;
+    Arc::clone(&entry.cell)
+}
+
+/// Snapshot forking is on by default. `VLFS_SNAPSHOT=0` — or reference mode
+/// (`VLFS_REFERENCE=1`), which selects every pre-optimisation oracle path —
+/// rebuilds each cell from scratch instead; the CI identity gate diffs the
+/// two modes byte-for-byte. Read once per process.
+pub fn snapshots_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        !disksim::reference_mode()
+            && std::env::var("VLFS_SNAPSHOT").map_or(true, |v| v != "0")
+    })
+}
+
+/// Build the aged state described by `spec` from scratch, bypassing the
+/// snapshot cache. This is the per-cell path when snapshots are disabled,
+/// and the oracle the fork-identity tests compare against.
+pub fn build_aged(spec: &AgedSpec) -> FsResult<(Ufs, FileId, u64)> {
+    let mut fs = match (spec.dev, spec.vld_target_empty_tracks) {
+        (DevKind::Vld, Some(target)) => {
+            let mut cfg = VldConfig::default();
+            cfg.compactor.target_empty_tracks = target;
+            let vld = Vld::format(spec.disk.spec(), SimClock::new(), cfg);
+            match spec.fs {
+                FsKind::Ufs => Ufs::format(Box::new(vld), spec.host, UfsConfig::default())?,
+                FsKind::Lfs => lfs_filesystem(Box::new(vld), spec.host, LfsConfig::default())?,
+            }
+        }
+        _ => make_system(spec.fs, spec.dev, spec.disk, spec.host)?,
+    };
+    let usable = fs.free_blocks();
+    let file_blocks = (usable as f64 * spec.file_frac) as u64;
+    let f = make_file(&mut fs, "target", file_blocks * BLOCK as u64)?;
+    if spec.sync_writes {
+        fs.set_sync_writes(true);
+    }
+    if spec.warmup_blocks > 0 {
+        let w = spec.warmup_blocks;
+        crate::fig10::burst_idle_bench(&mut fs, f, file_blocks, w, 0, w, 7)?;
+    }
+    Ok((fs, f, file_blocks))
+}
+
+/// An independent system in the aged state described by `spec`, plus the
+/// target file's handle and length in blocks.
+///
+/// The first request for a given spec builds the state and caches a
+/// [`UfsSnapshot`]; every request (including the first) is then served by
+/// forking the snapshot in O(metadata) — media tracks, map pages and cache
+/// payloads stay shared copy-on-write until a fork writes them. Event
+/// accounting is rebuild-equivalent: the cached build's simulation events
+/// are subtracted once and re-credited by every fork, so per-figure event
+/// totals match a mode where each cell rebuilds from scratch.
+///
+/// With snapshots disabled ([`snapshots_enabled`]) every call is a plain
+/// from-scratch build — the oracle the CI identity gate compares against.
+pub fn aged_system(spec: &AgedSpec) -> FsResult<(Ufs, FileId, u64)> {
+    if !snapshots_enabled() {
+        return build_aged(spec);
+    }
+    let cell = cache_cell(spec.key());
+    let cached = cell.get_or_init(|| {
+        let (fs, file, file_blocks) = build_aged(spec).ok()?;
+        let snap = fs.snapshot()?;
+        // The cached build's events are subtracted once here and re-credited
+        // by every fork below, so event totals match rebuild-per-cell mode.
+        disksim::clock::sub_events(snap.local_events());
+        Some(CachedAged {
+            snap,
+            file,
+            file_blocks,
+        })
+    });
+    match cached {
+        Some(c) => {
+            disksim::clock::add_events(c.snap.local_events());
+            Ok((c.snap.restore(), c.file, c.file_blocks))
+        }
+        // Build failed or the stack cannot snapshot: rebuild per cell (and
+        // surface the per-cell error, if any).
+        None => build_aged(spec),
+    }
 }
 
 #[cfg(test)]

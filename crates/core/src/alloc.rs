@@ -74,6 +74,16 @@ pub struct EagerAllocator {
     metrics: Metrics,
 }
 
+/// Plain-data image of an allocator's mutable state (`Send + Sync`), used
+/// by the snapshot/fork engine. The metrics handle is deliberately not
+/// captured: a restored allocator starts detached.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocatorState {
+    cfg: AllocConfig,
+    fill_track: Option<(u32, u32)>,
+    avoid: Option<(u32, u32)>,
+}
+
 impl EagerAllocator {
     /// Create an allocator with the given configuration.
     pub fn new(cfg: AllocConfig) -> Self {
@@ -81,6 +91,25 @@ impl EagerAllocator {
             cfg,
             fill_track: None,
             avoid: None,
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Capture the mutable state for a later [`EagerAllocator::from_state`].
+    pub fn state(&self) -> AllocatorState {
+        AllocatorState {
+            cfg: self.cfg,
+            fill_track: self.fill_track,
+            avoid: self.avoid,
+        }
+    }
+
+    /// Rebuild an allocator from captured state (metrics detached).
+    pub fn from_state(state: &AllocatorState) -> Self {
+        Self {
+            cfg: state.cfg,
+            fill_track: state.fill_track,
+            avoid: state.avoid,
             metrics: Metrics::disabled(),
         }
     }

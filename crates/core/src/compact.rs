@@ -81,6 +81,19 @@ pub struct Compactor {
     spt0: u64,
 }
 
+/// Plain-data image of a compactor's mutable state (`Send + Sync`),
+/// including the RNG stream position, used by the snapshot/fork engine.
+/// The metrics handle is deliberately not captured: a restored compactor
+/// starts detached.
+#[derive(Debug, Clone)]
+pub struct CompactorState {
+    cfg: CompactorConfig,
+    rng: StdRng,
+    stats: CompactStats,
+    pending_victim: Option<(u32, u32)>,
+    spt0: u64,
+}
+
 impl Compactor {
     /// Create a compactor with the given configuration.
     pub fn new(cfg: CompactorConfig) -> Self {
@@ -91,6 +104,31 @@ impl Compactor {
             metrics: Metrics::disabled(),
             pending_victim: None,
             spt0: 0,
+        }
+    }
+
+    /// Capture the mutable state for a later [`Compactor::from_state`].
+    pub fn state(&self) -> CompactorState {
+        CompactorState {
+            cfg: self.cfg,
+            rng: self.rng.clone(),
+            stats: self.stats,
+            pending_victim: self.pending_victim,
+            spt0: self.spt0,
+        }
+    }
+
+    /// Rebuild a compactor from captured state (metrics detached). The
+    /// restored RNG resumes exactly where the captured stream stopped, so a
+    /// fork picks the same victim sequence a continued original would.
+    pub fn from_state(state: &CompactorState) -> Self {
+        Self {
+            cfg: state.cfg,
+            rng: state.rng.clone(),
+            stats: state.stats,
+            metrics: Metrics::disabled(),
+            pending_victim: state.pending_victim,
+            spt0: state.spt0,
         }
     }
 

@@ -49,14 +49,14 @@ pub mod tail;
 pub mod vld;
 pub mod vlfs;
 
-pub use alloc::{AllocConfig, Candidate, EagerAllocator};
+pub use alloc::{AllocConfig, AllocatorState, Candidate, EagerAllocator};
 pub use checkpoint::{Checkpoint, CheckpointRegion};
-pub use compact::{CompactStats, Compactor, CompactorConfig, VictimPolicy};
+pub use compact::{CompactStats, Compactor, CompactorConfig, CompactorState, VictimPolicy};
 pub use freemap::FreeMap;
-pub use log::{PieceLoc, VirtualLog, VlogStats, BLOCK_BYTES, BLOCK_SECTORS};
+pub use log::{PieceLoc, VirtualLog, VlogSnapshot, VlogStats, BLOCK_BYTES, BLOCK_SECTORS};
 pub use mapsector::{MapFlags, MapSector, TxnInfo, PIECE_ENTRIES, UNMAPPED};
 pub use piecetable::PieceTable;
 pub use recovery::RecoveryReport;
 pub use tail::{TailRecord, FIRMWARE_SECTORS, TAIL_LBA};
-pub use vld::{Vld, VldConfig};
+pub use vld::{Vld, VldConfig, VldSnapshot};
 pub use vlfs::{VlfsInode, VlfsLayer, INODE_DIRECT};

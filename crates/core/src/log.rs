@@ -19,13 +19,13 @@
 //! All I/O is simulated through [`disksim::Disk`]; every public operation
 //! returns the [`ServiceTime`] it consumed.
 
-use crate::alloc::{AllocConfig, Candidate, EagerAllocator};
+use crate::alloc::{AllocConfig, AllocatorState, Candidate, EagerAllocator};
 use crate::checkpoint::{Checkpoint, CheckpointRegion};
 use crate::freemap::FreeMap;
 use crate::mapsector::{MapFlags, MapSectorRef, TxnInfo, PIECE_ENTRIES, UNMAPPED};
 use crate::piecetable::PieceTable;
 use crate::tail::{TailRecord, FIRMWARE_SECTORS, TAIL_LBA};
-use disksim::{Disk, DiskError, Result, ServiceTime, SECTOR_BYTES};
+use disksim::{Disk, DiskError, DiskSnapshot, Result, ServiceTime, SECTOR_BYTES};
 
 /// Allocation tracing (set `VLOG_TRACE=1`), checked once per process.
 fn trace_enabled() -> bool {
@@ -747,6 +747,87 @@ impl VirtualLog {
     /// The log-time horizon of the last checkpoint.
     pub fn checkpoint_seq(&self) -> u64 {
         self.checkpoint_seq
+    }
+
+    /// Capture the complete mutable state of the log — disk image (shared
+    /// copy-on-write), free map, indirection map (piece pages shared
+    /// copy-on-write), log chain bookkeeping and allocator position — as a
+    /// `Send + Sync` value. [`VlogSnapshot::restore`] yields an independent
+    /// log that continues exactly as this one would; observability handles
+    /// are not captured (a restored log starts detached).
+    pub fn snapshot(&self) -> VlogSnapshot {
+        VlogSnapshot {
+            disk: self.disk.snapshot(),
+            alloc: self.alloc.state(),
+            free: self.free.clone(),
+            map: self.map.clone(),
+            rmap: self.rmap.clone(),
+            pieces: self.pieces.clone(),
+            root: self.root,
+            next_seq: self.next_seq,
+            next_txn: self.next_txn,
+            num_logical: self.num_logical,
+            deferred_blocks: self.deferred_blocks.clone(),
+            pending_recycle: self.pending_recycle.clone(),
+            ckpt_region: self.ckpt_region,
+            checkpoint_seq: self.checkpoint_seq,
+            ckpt_use_b: self.ckpt_use_b,
+            stats: self.stats,
+        }
+    }
+}
+
+/// A point-in-time image of a [`VirtualLog`], cheap to take (the disk's
+/// track store and the map's piece pages are `Arc`-shared, copied only on
+/// the first post-snapshot write) and safe to ship across threads.
+#[derive(Debug, Clone)]
+pub struct VlogSnapshot {
+    disk: DiskSnapshot,
+    alloc: AllocatorState,
+    free: FreeMap,
+    map: PieceTable,
+    rmap: Vec<u32>,
+    pieces: Vec<Option<PieceLoc>>,
+    root: Option<(u64, u64)>,
+    next_seq: u64,
+    next_txn: u64,
+    num_logical: u64,
+    deferred_blocks: Vec<u32>,
+    pending_recycle: Vec<u64>,
+    ckpt_region: CheckpointRegion,
+    checkpoint_seq: u64,
+    ckpt_use_b: bool,
+    stats: VlogStats,
+}
+
+impl VlogSnapshot {
+    /// Materialise an independent [`VirtualLog`] from this snapshot.
+    pub fn restore(&self) -> VirtualLog {
+        VirtualLog {
+            disk: self.disk.restore(),
+            alloc: EagerAllocator::from_state(&self.alloc),
+            free: self.free.clone(),
+            map: self.map.clone(),
+            rmap: self.rmap.clone(),
+            pieces: self.pieces.clone(),
+            root: self.root,
+            next_seq: self.next_seq,
+            next_txn: self.next_txn,
+            num_logical: self.num_logical,
+            deferred_blocks: self.deferred_blocks.clone(),
+            pending_recycle: self.pending_recycle.clone(),
+            ckpt_region: self.ckpt_region,
+            checkpoint_seq: self.checkpoint_seq,
+            ckpt_use_b: self.ckpt_use_b,
+            stats: self.stats,
+            metrics: disksim::Metrics::disabled(),
+        }
+    }
+
+    /// Simulation events the captured system had consumed — forks credit
+    /// these to the global event counter so fork-vs-rebuild totals match.
+    pub fn local_events(&self) -> u64 {
+        self.disk.local_events()
     }
 }
 

@@ -10,15 +10,23 @@
 //! back the page slice directly — the borrowed-encode path introduced for
 //! the hot allocator loop keeps working without a copy.
 
+use std::sync::Arc;
+
 use crate::mapsector::{PIECE_ENTRIES, UNMAPPED};
 
 /// A page shared by every piece that was never written.
 static UNMAPPED_PAGE: [u32; PIECE_ENTRIES] = [UNMAPPED; PIECE_ENTRIES];
 
 /// Logical block → physical block, piece-paged. `UNMAPPED` marks holes.
-#[derive(Debug)]
+///
+/// Pages sit behind `Arc`, so cloning the table — the snapshot/fork path —
+/// copies one pointer per materialised page; the first [`PieceTable::set`]
+/// into a page still shared with a snapshot copies that page only
+/// (copy-on-write at piece granularity, matching the map-piece unit the
+/// log persists).
+#[derive(Debug, Clone)]
 pub struct PieceTable {
-    pages: Vec<Option<Box<[u32; PIECE_ENTRIES]>>>,
+    pages: Vec<Option<Arc<[u32; PIECE_ENTRIES]>>>,
     len: usize,
 }
 
@@ -58,13 +66,14 @@ impl PieceTable {
         (lb < self.len).then(|| self.get(lb))
     }
 
-    /// Set the entry for logical block `lb`, materialising its page.
+    /// Set the entry for logical block `lb`, materialising its page (and
+    /// un-sharing it first if a snapshot still holds the old copy).
     #[inline]
     pub fn set(&mut self, lb: usize, pb: u32) {
         debug_assert!(lb < self.len);
         let page = self.pages[lb / PIECE_ENTRIES]
-            .get_or_insert_with(|| Box::new([UNMAPPED; PIECE_ENTRIES]));
-        page[lb % PIECE_ENTRIES] = pb;
+            .get_or_insert_with(|| Arc::new([UNMAPPED; PIECE_ENTRIES]));
+        Arc::make_mut(page)[lb % PIECE_ENTRIES] = pb;
     }
 
     /// The entries of `piece`, clamped to the table length (the final

@@ -25,12 +25,12 @@
 //! block-device call.
 
 use crate::alloc::AllocConfig;
-use crate::compact::{Compactor, CompactorConfig};
-use crate::log::{VirtualLog, BLOCK_BYTES};
+use crate::compact::{Compactor, CompactorConfig, CompactorState};
+use crate::log::{VirtualLog, VlogSnapshot, BLOCK_BYTES};
 use crate::recovery::RecoveryReport;
 use disksim::{
-    BlockDevice, CachePolicy, Disk, DiskSpec, DiskStats, Metrics, Result, ServiceTime, SimClock,
-    Tracer,
+    BlockDevice, CachePolicy, DeviceSnapshot, Disk, DiskSpec, DiskStats, Metrics, Result,
+    ServiceTime, SimClock, Tracer,
 };
 
 /// Configuration for a [`Vld`].
@@ -169,6 +169,28 @@ impl Vld {
         Ok(host + self.vlog.write_many(batch)?)
     }
 
+    /// Capture the whole VLD — virtual log, compactor (RNG position
+    /// included) and configuration — as a `Send + Sync` snapshot.
+    pub fn snapshot_state(&self) -> VldSnapshot {
+        VldSnapshot {
+            vlog: self.vlog.snapshot(),
+            compactor: self.compactor.state(),
+            cfg: self.cfg,
+            host_overhead_ns: self.host_overhead_ns,
+        }
+    }
+
+    /// Materialise an independent VLD from a snapshot (observability
+    /// detached).
+    pub fn from_snapshot(snap: &VldSnapshot) -> Self {
+        Self {
+            vlog: snap.vlog.restore(),
+            compactor: Compactor::from_state(&snap.compactor),
+            cfg: snap.cfg,
+            host_overhead_ns: snap.host_overhead_ns,
+        }
+    }
+
     fn charge_host_overhead(&mut self) -> ServiceTime {
         self.vlog.disk_mut().clock().advance(self.host_overhead_ns);
         ServiceTime {
@@ -280,6 +302,32 @@ impl BlockDevice for Vld {
 
     fn spans(&self) -> disksim::Spans {
         self.vlog.disk().spans().clone()
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn DeviceSnapshot>> {
+        Some(Box::new(self.snapshot_state()))
+    }
+}
+
+/// A point-in-time image of a [`Vld`]: the virtual-log snapshot (disk
+/// tracks and map pages `Arc`-shared, copy-on-write) plus the compactor's
+/// state and the device configuration. `Send + Sync`, so an aged system
+/// can be built once and forked inside parallel figure-cell workers.
+#[derive(Debug, Clone)]
+pub struct VldSnapshot {
+    vlog: VlogSnapshot,
+    compactor: CompactorState,
+    cfg: VldConfig,
+    host_overhead_ns: u64,
+}
+
+impl DeviceSnapshot for VldSnapshot {
+    fn restore(&self) -> Box<dyn BlockDevice> {
+        Box::new(Vld::from_snapshot(self))
+    }
+
+    fn local_events(&self) -> u64 {
+        self.vlog.local_events()
     }
 }
 

@@ -24,6 +24,28 @@ pub fn events() -> u64 {
     EVENTS.load(Ordering::Relaxed)
 }
 
+/// Credit `n` events to the process-wide counter without moving any clock.
+///
+/// Used by snapshot forks: restoring a captured system skips re-executing
+/// its setup workload, so the fork credits the events that workload *would*
+/// have generated. Event accounting then reads the same whether a system
+/// was rebuilt from scratch or forked from a snapshot.
+pub fn add_events(n: u64) {
+    EVENTS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Remove `n` events from the process-wide counter (the inverse of
+/// [`add_events`]).
+///
+/// Used once per cached snapshot build: the build's own events are
+/// subtracted and then re-credited by *every* fork restored from it
+/// (including the builder's), so a section that builds once and forks k
+/// times reports exactly the k×(build+measure) events a from-scratch
+/// rebuild of every cell would.
+pub fn sub_events(n: u64) {
+    EVENTS.fetch_sub(n, Ordering::Relaxed);
+}
+
 /// A shared, monotonically increasing virtual clock in nanoseconds.
 ///
 /// Cloning a `SimClock` yields another handle to the *same* clock; this is
@@ -40,6 +62,10 @@ pub fn events() -> u64 {
 #[derive(Clone, Debug, Default)]
 pub struct SimClock {
     now_ns: Rc<Cell<u64>>,
+    /// Advances made through *this* clock (all handles share the cell).
+    /// Unlike the global [`events`] counter this is race-free per system,
+    /// which is what snapshots capture and credit on fork.
+    local_events: Rc<Cell<u64>>,
 }
 
 impl SimClock {
@@ -48,16 +74,33 @@ impl SimClock {
         Self::default()
     }
 
+    /// Recreate a clock captured by a snapshot: time and per-clock event
+    /// count are restored as-is, and the restoration itself does **not**
+    /// count as a simulation event.
+    pub fn restore(now_ns: u64, local_events: u64) -> Self {
+        Self {
+            now_ns: Rc::new(Cell::new(now_ns)),
+            local_events: Rc::new(Cell::new(local_events)),
+        }
+    }
+
     /// Current simulated time in nanoseconds since the start of the run.
     #[inline]
     pub fn now(&self) -> u64 {
         self.now_ns.get()
     }
 
+    /// Advances made through this clock (and its clones) so far.
+    #[inline]
+    pub fn local_events(&self) -> u64 {
+        self.local_events.get()
+    }
+
     /// Advance the clock by `delta_ns` nanoseconds and return the new time.
     #[inline]
     pub fn advance(&self, delta_ns: u64) -> u64 {
         EVENTS.fetch_add(1, Ordering::Relaxed);
+        self.local_events.set(self.local_events.get() + 1);
         let t = self.now_ns.get() + delta_ns;
         self.now_ns.set(t);
         t
@@ -70,6 +113,7 @@ impl SimClock {
     pub fn advance_to(&self, target_ns: u64) {
         if target_ns > self.now_ns.get() {
             EVENTS.fetch_add(1, Ordering::Relaxed);
+            self.local_events.set(self.local_events.get() + 1);
             self.now_ns.set(target_ns);
         }
     }

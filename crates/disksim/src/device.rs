@@ -8,11 +8,36 @@
 //! update in place). The VLD implementation lives in the `vlog-core` crate.
 
 use crate::clock::SimClock;
-use crate::disk::{Disk, DiskStats};
+use crate::disk::{Disk, DiskSnapshot, DiskStats};
 use crate::error::{DiskError, Result};
 use crate::service::ServiceTime;
 use crate::spec::DiskSpec;
 use crate::SECTOR_BYTES;
+
+/// A frozen, independently-restorable copy of a device stack's mutable
+/// state.
+///
+/// Each [`BlockDevice`] implementation owns its snapshot type (wrapping
+/// layers hold a boxed snapshot of their inner device, mirroring the live
+/// stack), which is why this is a trait rather than an enum: the crates
+/// implementing devices above `disksim` (the VLD, the log-structured
+/// logical disk) plug in without this crate knowing about them.
+///
+/// Snapshots are plain data and `Send + Sync`: captured once, they can be
+/// restored concurrently from many pool workers, each restore yielding a
+/// fully independent live stack (media pages shared copy-on-write with the
+/// snapshot and sibling forks). Restored stacks come up with disabled
+/// observability handles and a fresh clock at the captured instant.
+pub trait DeviceSnapshot: Send + Sync {
+    /// Reconstruct an independent live device stack from this snapshot.
+    fn restore(&self) -> Box<dyn BlockDevice>;
+
+    /// Simulation events the captured system had consumed at capture time.
+    /// A fork credits these to the global event counter
+    /// ([`crate::clock::add_events`]) so fork-vs-rebuild event totals match
+    /// exactly.
+    fn local_events(&self) -> u64;
+}
 
 /// A logical block device with simulated timing.
 ///
@@ -115,6 +140,13 @@ pub trait BlockDevice {
     /// the bottom [`Disk`] stamps events with and open spans on it.
     fn spans(&self) -> obs::Spans {
         obs::Spans::disabled()
+    }
+
+    /// Freeze this device stack's complete mutable state, or `None` (the
+    /// default) for devices that do not support snapshotting. Wrapping
+    /// layers return `None` when their inner device does.
+    fn snapshot(&self) -> Option<Box<dyn DeviceSnapshot>> {
+        None
     }
 }
 
@@ -286,6 +318,37 @@ impl BlockDevice for RegularDisk {
 
     fn spans(&self) -> obs::Spans {
         self.disk.spans().clone()
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn DeviceSnapshot>> {
+        Some(Box::new(RegularDiskSnapshot {
+            disk: self.disk.snapshot(),
+            block_sectors: self.block_sectors,
+            num_blocks: self.num_blocks,
+        }))
+    }
+}
+
+/// Snapshot of a [`RegularDisk`]: the mechanical disk's state plus the
+/// (immutable) logical-block parameters.
+#[derive(Debug, Clone)]
+pub struct RegularDiskSnapshot {
+    disk: DiskSnapshot,
+    block_sectors: u32,
+    num_blocks: u64,
+}
+
+impl DeviceSnapshot for RegularDiskSnapshot {
+    fn restore(&self) -> Box<dyn BlockDevice> {
+        Box::new(RegularDisk {
+            disk: self.disk.restore(),
+            block_sectors: self.block_sectors,
+            num_blocks: self.num_blocks,
+        })
+    }
+
+    fn local_events(&self) -> u64 {
+        self.disk.local_events()
     }
 }
 

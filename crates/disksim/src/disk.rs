@@ -11,6 +11,8 @@
 //! including the eager-writing previews the virtual log uses to choose the
 //! cheapest free sector.
 
+use std::sync::Arc;
+
 use obs::{Metrics, OpKind, Spans, TraceEvent, Tracer};
 
 use crate::cache::{CachePolicy, TrackCache};
@@ -20,6 +22,7 @@ use crate::geometry::PhysAddr;
 use crate::mech::SeekTable;
 use crate::service::ServiceTime;
 use crate::spec::DiskSpec;
+use crate::trackbuf::TrackBuf;
 use crate::SECTOR_BYTES;
 
 /// Where the head is right now: the track it is on, and the sector slot
@@ -60,9 +63,49 @@ pub struct DiskStats {
 /// sector transfer. Unmaterialised tracks stay `None`, which preserves the
 /// sparse-image semantics: a slot's buffer is allocated (zero-filled, at
 /// that cylinder's zone size) only on first write.
+///
+/// A frozen disk image flattened into one contiguous allocation: every
+/// materialised track's bytes packed back-to-back in `data`, located by a
+/// per-slot offset table.
+///
+/// This is the media layer a [`DiskSnapshot`] retains and every fork reads
+/// through until it writes. Packing matters as much as sharing: a cached
+/// snapshot that instead kept ~200 live track-sized `Arc` buffers peppers
+/// the allocator's arena with same-sized chunks, and a few dozen retained
+/// snapshots degrade *every* later track-sized allocation in the process
+/// (measured: ~100× on glibc). One multi-megabyte allocation per snapshot
+/// leaves the arena clean.
+#[derive(Debug)]
+struct BaseImage {
+    /// Per-slot `(start, len)` byte range into `data`; `None` means the
+    /// track was never materialised (reads as zeros).
+    offsets: Vec<Option<(u32, u32)>>,
+    data: Vec<u8>,
+}
+
+impl BaseImage {
+    fn track(&self, slot: usize) -> Option<&[u8]> {
+        self.offsets[slot].map(|(off, len)| &self.data[off as usize..(off + len) as usize])
+    }
+}
+
+/// Tracks are held behind `Arc` so a snapshot of the whole store is one
+/// pointer clone per materialised track; a write to a track whose buffer is
+/// shared with a snapshot copies that one track first (copy-on-write at
+/// track granularity — the same discipline `fscore`'s buffer cache applies
+/// per block). The buffers themselves are [`TrackBuf`]s, whose allocations
+/// recycle through a process-wide pool so fork-heavy runs don't churn the
+/// global allocator with track-sized chunks.
+///
+/// A store restored from a [`DiskSnapshot`] starts with an empty overlay
+/// on top of the snapshot's flattened [`BaseImage`]: reads fall through to
+/// the base, and the first write to a track materialises a private copy in
+/// the overlay — so restoring costs O(slots) pointer-sized writes no
+/// matter how much media the captured workload produced.
 #[derive(Debug)]
 struct TrackStore {
-    tracks: Vec<Option<Box<[u8]>>>,
+    tracks: Vec<Option<Arc<TrackBuf>>>,
+    base: Option<Arc<BaseImage>>,
     tracks_per_cyl: u32,
 }
 
@@ -72,6 +115,7 @@ impl TrackStore {
         let slots = geometry.cylinders() as usize * tracks_per_cyl as usize;
         Self {
             tracks: vec![None; slots],
+            base: None,
             tracks_per_cyl,
         }
     }
@@ -83,12 +127,31 @@ impl TrackStore {
 
     fn track_mut(&mut self, cyl: u32, track: u32, spt: u32) -> &mut [u8] {
         let slot = self.slot(cyl, track);
-        self.tracks[slot]
-            .get_or_insert_with(|| vec![0u8; spt as usize * SECTOR_BYTES].into_boxed_slice())
+        let base = &self.base;
+        let arc = self.tracks[slot].get_or_insert_with(|| {
+            // First write since the fork: materialise the track in the
+            // overlay, seeded from the base image if it has data there.
+            Arc::new(match base.as_ref().and_then(|b| b.track(slot)) {
+                Some(src) => TrackBuf::copy_of(src),
+                None => TrackBuf::zeroed(spt as usize * SECTOR_BYTES),
+            })
+        });
+        // Shared with a snapshot (or a sibling fork): `make_mut` copies this
+        // one track before the first mutation so the sharers keep their
+        // bytes (`TrackBuf::clone` draws the copy from the buffer pool).
+        &mut *Arc::make_mut(arc)
+    }
+
+    /// The track's current bytes, overlay first, then the base image.
+    fn track_bytes(&self, slot: usize) -> Option<&[u8]> {
+        match &self.tracks[slot] {
+            Some(t) => Some(&t[..]),
+            None => self.base.as_ref().and_then(|b| b.track(slot)),
+        }
     }
 
     fn read(&self, cyl: u32, track: u32, sector: u32, buf: &mut [u8]) {
-        match &self.tracks[self.slot(cyl, track)] {
+        match self.track_bytes(self.slot(cyl, track)) {
             Some(t) => {
                 let off = sector as usize * SECTOR_BYTES;
                 buf.copy_from_slice(&t[off..off + buf.len()]);
@@ -724,18 +787,50 @@ impl Disk {
     /// The flat slot table yields them already sorted.
     pub fn materialised_tracks(&self) -> Vec<(u32, u32)> {
         let tpc = self.store.tracks_per_cyl;
-        self.store
-            .tracks
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.is_some())
-            .map(|(i, _)| (i as u32 / tpc, i as u32 % tpc))
+        (0..self.store.tracks.len())
+            .filter(|&i| self.store.track_bytes(i).is_some())
+            .map(|i| (i as u32 / tpc, i as u32 % tpc))
             .collect()
     }
 
     /// Translate a physical address to an LBA (convenience passthrough).
     pub fn phys_to_lba(&self, p: PhysAddr) -> Result<u64> {
         self.spec.geometry.phys_to_lba(p)
+    }
+
+    /// Freeze this disk's complete mutable state. The media image is
+    /// flattened into a single contiguous [`BaseImage`] allocation — an
+    /// O(media bytes) copy, paid once per captured state — which every
+    /// fork then shares; restoring is O(slots) regardless of media size,
+    /// and a fork's first write to a track copies just that track.
+    /// Observability handles (tracer/metrics/spans) are *not* captured; a
+    /// restored disk starts with them disabled.
+    pub fn snapshot(&self) -> DiskSnapshot {
+        let slots = self.store.tracks.len();
+        let total: usize = (0..slots)
+            .filter_map(|i| self.store.track_bytes(i))
+            .map(<[u8]>::len)
+            .sum();
+        let mut offsets = vec![None; slots];
+        let mut data = Vec::with_capacity(total);
+        for (i, slot_offsets) in offsets.iter_mut().enumerate() {
+            if let Some(bytes) = self.store.track_bytes(i) {
+                *slot_offsets = Some((data.len() as u32, bytes.len() as u32));
+                data.extend_from_slice(bytes);
+            }
+        }
+        DiskSnapshot {
+            spec: self.spec.clone(),
+            now_ns: self.clock.now(),
+            local_events: self.clock.local_events(),
+            base: Arc::new(BaseImage { offsets, data }),
+            tracks_per_cyl: self.store.tracks_per_cyl,
+            cur_cyl: self.cur_cyl,
+            cur_track: self.cur_track,
+            cache: self.cache.clone(),
+            stats: self.stats,
+            seek: self.seek.clone(),
+        }
     }
 
     fn sector_count(bytes: usize) -> Result<u32> {
@@ -746,6 +841,63 @@ impl Disk {
             });
         }
         Ok((bytes / SECTOR_BYTES) as u32)
+    }
+}
+
+/// A frozen copy of a [`Disk`]'s complete mutable state: media image
+/// (one flattened [`BaseImage`] every fork shares), clock instant,
+/// arm/head position, read-ahead buffer and statistics.
+///
+/// The snapshot is `Send + Sync` plain data — it can be built once on one
+/// thread and restored concurrently from many pool workers — and restoring
+/// it is O(slots), independent of how much workload produced the state: a
+/// fork starts with an empty copy-on-write overlay over the shared base
+/// image. `restore` does not touch the process-wide event counter; callers
+/// that want rebuild-equivalent event accounting credit
+/// [`crate::clock::add_events`] with the captured
+/// [`DiskSnapshot::local_events`] themselves.
+#[derive(Debug, Clone)]
+pub struct DiskSnapshot {
+    spec: DiskSpec,
+    now_ns: u64,
+    local_events: u64,
+    base: Arc<BaseImage>,
+    tracks_per_cyl: u32,
+    cur_cyl: u32,
+    cur_track: u32,
+    cache: TrackCache,
+    stats: DiskStats,
+    seek: SeekTable,
+}
+
+impl DiskSnapshot {
+    /// Reconstruct an independent, fully-functional disk from this
+    /// snapshot. The new disk has its own clock (restored to the captured
+    /// instant) and disabled observability handles.
+    pub fn restore(&self) -> Disk {
+        Disk {
+            spec: self.spec.clone(),
+            clock: SimClock::restore(self.now_ns, self.local_events),
+            store: TrackStore {
+                tracks: vec![None; self.base.offsets.len()],
+                base: Some(Arc::clone(&self.base)),
+                tracks_per_cyl: self.tracks_per_cyl,
+            },
+            cur_cyl: self.cur_cyl,
+            cur_track: self.cur_track,
+            cache: self.cache.clone(),
+            stats: self.stats,
+            seek: self.seek.clone(),
+            tracer: None,
+            metrics: Metrics::disabled(),
+            spans: Spans::disabled(),
+        }
+    }
+
+    /// Clock advances the captured system had made through its own clock
+    /// when the snapshot was taken (see [`crate::clock::add_events`]).
+    pub fn local_events(&self) -> u64 {
+        self.local_events
     }
 }
 

@@ -32,7 +32,7 @@ use std::collections::{BTreeMap, HashMap};
 use obs::{OpKind, TraceEvent, Tracer};
 
 use crate::clock::SimClock;
-use crate::device::BlockDevice;
+use crate::device::{BlockDevice, DeviceSnapshot};
 use crate::disk::DiskStats;
 use crate::error::{DiskError, Result};
 use crate::service::ServiceTime;
@@ -425,6 +425,53 @@ impl BlockDevice for FaultDisk {
 
     fn spans(&self) -> obs::Spans {
         self.inner.spans()
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn DeviceSnapshot>> {
+        Some(Box::new(FaultDiskSnapshot {
+            inner: self.inner.snapshot()?,
+            plan: self.plan.clone(),
+            next_op: self.next_op,
+            acked_ops: self.acked_ops,
+            powered_off: self.powered_off,
+            log: self.log,
+            acked: self.acked.clone(),
+        }))
+    }
+}
+
+/// Snapshot of a [`FaultDisk`]: the wrapped device's snapshot plus the
+/// fault plan's progress (op cursor, power state, acknowledged-write
+/// journal). The scratch buffer is working space, not state, and is not
+/// captured; the tracer, like every observability handle, is restored
+/// detached.
+pub struct FaultDiskSnapshot {
+    inner: Box<dyn DeviceSnapshot>,
+    plan: FaultPlan,
+    next_op: u64,
+    acked_ops: u64,
+    powered_off: bool,
+    log: FaultLog,
+    acked: HashMap<u64, u64>,
+}
+
+impl DeviceSnapshot for FaultDiskSnapshot {
+    fn restore(&self) -> Box<dyn BlockDevice> {
+        Box::new(FaultDisk {
+            inner: self.inner.restore(),
+            plan: self.plan.clone(),
+            next_op: self.next_op,
+            acked_ops: self.acked_ops,
+            powered_off: self.powered_off,
+            log: self.log,
+            acked: self.acked.clone(),
+            scratch: Vec::new(),
+            tracer: None,
+        })
+    }
+
+    fn local_events(&self) -> u64 {
+        self.inner.local_events()
     }
 }
 

@@ -39,11 +39,12 @@ pub mod refmode;
 pub mod sched;
 pub mod service;
 pub mod spec;
+pub mod trackbuf;
 
 pub use cache::{CachePolicy, TrackCache};
 pub use clock::SimClock;
-pub use device::{downcast_device, probe_device, BlockDevice, RegularDisk};
-pub use disk::{Disk, DiskStats, HeadPosition};
+pub use device::{downcast_device, probe_device, BlockDevice, DeviceSnapshot, RegularDisk};
+pub use disk::{Disk, DiskSnapshot, DiskStats, HeadPosition};
 pub use error::{DiskError, Result};
 pub use fault::{FaultDisk, FaultLog, FaultPlan, WriteFault};
 pub use geometry::{Geometry, PhysAddr, Zone};

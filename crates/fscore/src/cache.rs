@@ -14,7 +14,7 @@
 //! picks is exactly the one the old linear scan found.
 
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One cached block.
 ///
@@ -24,13 +24,18 @@ use std::rc::Rc;
 /// still holds a handle.
 #[derive(Debug, Clone)]
 struct Buf {
-    data: Rc<[u8]>,
+    data: Arc<[u8]>,
     dirty: bool,
     lru: u64,
 }
 
 /// Fixed-capacity LRU cache of equal-sized blocks keyed by block number.
-#[derive(Debug)]
+///
+/// Cloning the cache is a snapshot: payloads are `Arc`-shared with the
+/// clone, and the mutating path ([`BufferCache::get_mut_dirty`])
+/// copies-on-write, so either side can keep running without disturbing the
+/// other.
+#[derive(Debug, Clone)]
 pub struct BufferCache {
     capacity: usize,
     block_size: usize,
@@ -131,15 +136,15 @@ impl BufferCache {
     }
 
     /// Look up a block, refreshing its LRU position, and return a shared
-    /// handle to its payload. The zero-copy read path: cloning the `Rc`
+    /// handle to its payload. The zero-copy read path: cloning the `Arc`
     /// bumps a refcount instead of copying the block.
-    pub fn get_rc(&mut self, block: u64) -> Option<Rc<[u8]>> {
+    pub fn get_rc(&mut self, block: u64) -> Option<Arc<[u8]>> {
         let t = Self::bump(&mut self.tick);
         match self.map.get_mut(&block) {
             Some(b) => {
                 let (old, dirty) = (b.lru, b.dirty);
                 b.lru = t;
-                let data = Rc::clone(&b.data);
+                let data = Arc::clone(&b.data);
                 self.hits += 1;
                 self.retick(block, dirty, old, t);
                 Some(data)
@@ -172,10 +177,10 @@ impl BufferCache {
         }
         self.dirty_lru.insert(t, block);
         let b = self.map.get_mut(&block).expect("just found");
-        if Rc::get_mut(&mut b.data).is_none() {
-            b.data = Rc::from(&*b.data);
+        if Arc::get_mut(&mut b.data).is_none() {
+            b.data = Arc::from(&*b.data);
         }
-        Some(Rc::get_mut(&mut b.data).expect("unshared after CoW"))
+        Some(Arc::get_mut(&mut b.data).expect("unshared after CoW"))
     }
 
     /// Insert (or replace) a block. Does **not** evict — call
@@ -184,8 +189,8 @@ impl BufferCache {
     /// # Panics
     ///
     /// Panics if `data` is not block-sized (internal invariant).
-    pub fn insert(&mut self, block: u64, data: impl Into<Rc<[u8]>>, dirty: bool) {
-        let data: Rc<[u8]> = data.into();
+    pub fn insert(&mut self, block: u64, data: impl Into<Arc<[u8]>>, dirty: bool) {
+        let data: Arc<[u8]> = data.into();
         assert_eq!(data.len(), self.block_size, "cache blocks are fixed-size");
         let t = Self::bump(&mut self.tick);
         // Replacement keeps an existing buffer dirty if either copy was.
@@ -221,7 +226,7 @@ impl BufferCache {
     }
 
     /// Remove the named recency-index entry and the map entry behind it.
-    fn take(&mut self, tick: u64, dirty: bool) -> (u64, Rc<[u8]>, bool) {
+    fn take(&mut self, tick: u64, dirty: bool) -> (u64, Arc<[u8]>, bool) {
         let block = if dirty {
             self.dirty_lru.remove(&tick)
         } else {
@@ -234,7 +239,7 @@ impl BufferCache {
 
     /// Remove and return the least-recently-used block:
     /// `(block, data, dirty)`. The caller must write dirty data back.
-    pub fn evict_lru(&mut self) -> Option<(u64, Rc<[u8]>, bool)> {
+    pub fn evict_lru(&mut self) -> Option<(u64, Arc<[u8]>, bool)> {
         let clean = self.clean_lru.first_key_value().map(|(&t, _)| t);
         let dirty = self.dirty_lru.first_key_value().map(|(&t, _)| t);
         match (clean, dirty) {
@@ -249,7 +254,7 @@ impl BufferCache {
     /// Like [`BufferCache::evict_lru`], but prefers the least-recently-used
     /// *clean* block, falling back to a dirty one only when everything is
     /// dirty. Clean evictions cost no I/O.
-    pub fn evict_lru_prefer_clean(&mut self) -> Option<(u64, Rc<[u8]>, bool)> {
+    pub fn evict_lru_prefer_clean(&mut self) -> Option<(u64, Arc<[u8]>, bool)> {
         if let Some((&t, _)) = self.clean_lru.first_key_value() {
             return Some(self.take(t, false));
         }
@@ -257,7 +262,7 @@ impl BufferCache {
     }
 
     /// Remove a specific block without writing it back.
-    pub fn remove(&mut self, block: u64) -> Option<(Rc<[u8]>, bool)> {
+    pub fn remove(&mut self, block: u64) -> Option<(Arc<[u8]>, bool)> {
         let b = self.map.remove(&block)?;
         if b.dirty {
             self.dirty_lru.remove(&b.lru);

@@ -14,7 +14,7 @@
 use disksim::SimClock;
 
 /// A host machine's CPU cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HostModel {
     /// Machine name for reports.
     pub name: &'static str,

@@ -22,7 +22,7 @@
 pub mod lld;
 pub mod seg;
 
-pub use lld::{CleanerStats, LldConfig, LogDisk};
+pub use lld::{CleanerStats, LldConfig, LogDisk, LogDiskSnapshot};
 pub use seg::{SegState, Summary, SEG_BLOCKS, SEG_DATA};
 
 use disksim::BlockDevice;

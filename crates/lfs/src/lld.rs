@@ -23,7 +23,7 @@ use crate::seg::{
     fnv64, seg_to_slot, slot_device_block, slot_to_seg, summary_block, SegState, Summary, NONE,
     SEG_BLOCKS, SEG_DATA,
 };
-use disksim::{BlockDevice, DiskStats, Result as DiskResult, ServiceTime, SimClock};
+use disksim::{BlockDevice, DeviceSnapshot, DiskStats, Result as DiskResult, ServiceTime, SimClock};
 use fscore::{FsError, FsResult};
 
 /// Segments kept back from the advertised capacity so the cleaner always
@@ -72,7 +72,7 @@ pub struct CleanerStats {
 }
 
 /// The in-memory open segment.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OpenSeg {
     seg: u32,
     summary: Summary,
@@ -985,6 +985,88 @@ impl BlockDevice for LogDisk {
 
     fn spans(&self) -> disksim::Spans {
         self.dev.spans()
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn DeviceSnapshot>> {
+        Some(Box::new(LogDiskSnapshot {
+            dev: self.dev.snapshot()?,
+            cfg: self.cfg,
+            block_size: self.block_size,
+            nsegs: self.nsegs,
+            logical_blocks: self.logical_blocks,
+            map: self.map.clone(),
+            rmap: self.rmap.clone(),
+            seg_state: self.seg_state.clone(),
+            free_count: self.free_count,
+            seg_live: self.seg_live.clone(),
+            open: self.open.clone(),
+            next_seg: self.next_seg,
+            ckpt_start: self.ckpt_start,
+            ckpt_blocks: self.ckpt_blocks,
+            flush_seq: self.flush_seq,
+            pending_free: self.pending_free.clone(),
+            ckpt_next_b: self.ckpt_next_b,
+            dirty_index: self.dirty_index.clone(),
+            stats: self.stats,
+        }))
+    }
+}
+
+/// Snapshot of a [`LogDisk`]: the wrapped device's snapshot plus every
+/// piece of log bookkeeping, including the in-memory open segment. The
+/// `cleaning` re-entrancy guard is transient (always false between calls)
+/// and restores false; the metrics handle restores detached.
+pub struct LogDiskSnapshot {
+    dev: Box<dyn DeviceSnapshot>,
+    cfg: LldConfig,
+    block_size: usize,
+    nsegs: u32,
+    logical_blocks: u64,
+    map: Vec<u32>,
+    rmap: Vec<u32>,
+    seg_state: Vec<SegState>,
+    free_count: u32,
+    seg_live: Vec<u32>,
+    open: Option<OpenSeg>,
+    next_seg: u32,
+    ckpt_start: u64,
+    ckpt_blocks: u64,
+    flush_seq: u64,
+    pending_free: Vec<u32>,
+    ckpt_next_b: bool,
+    dirty_index: std::collections::BTreeSet<(u32, u32)>,
+    stats: CleanerStats,
+}
+
+impl DeviceSnapshot for LogDiskSnapshot {
+    fn restore(&self) -> Box<dyn BlockDevice> {
+        Box::new(LogDisk {
+            dev: self.dev.restore(),
+            cfg: self.cfg,
+            block_size: self.block_size,
+            nsegs: self.nsegs,
+            logical_blocks: self.logical_blocks,
+            map: self.map.clone(),
+            rmap: self.rmap.clone(),
+            seg_state: self.seg_state.clone(),
+            free_count: self.free_count,
+            seg_live: self.seg_live.clone(),
+            open: self.open.clone(),
+            next_seg: self.next_seg,
+            ckpt_start: self.ckpt_start,
+            ckpt_blocks: self.ckpt_blocks,
+            cleaning: false,
+            flush_seq: self.flush_seq,
+            pending_free: self.pending_free.clone(),
+            ckpt_next_b: self.ckpt_next_b,
+            dirty_index: self.dirty_index.clone(),
+            stats: self.stats,
+            metrics: disksim::Metrics::disabled(),
+        })
+    }
+
+    fn local_events(&self) -> u64 {
+        self.dev.local_events()
     }
 }
 

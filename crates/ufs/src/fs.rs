@@ -18,13 +18,13 @@
 //!   with clustered device reads.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::bitmap::Bitmap;
 use crate::dir::{Dirent, DIRENT_SIZE};
 use crate::inode::{classify, BlockPath, Inode, NO_BLOCK, PTRS_PER_BLOCK};
 use crate::layout::{Layout, BLOCK_SIZE, INODE_SIZE};
-use disksim::{BlockDevice, SimClock};
+use disksim::{BlockDevice, DeviceSnapshot, SimClock};
 use fscore::{BufferCache, FileId, FileSystem, FsError, FsResult, HostModel};
 
 /// Inode number of the root directory.
@@ -148,6 +148,36 @@ impl Ufs {
         fs.flush_bitmaps()?;
         fs.span_close(sp);
         Ok(fs)
+    }
+
+    /// Capture the whole mounted system — the device stack below (down to
+    /// the simulated media, shared copy-on-write) and every piece of
+    /// file-system state (bitmaps, buffer cache, directory index, handles,
+    /// allocation hints) — as a `Send + Sync` [`UfsSnapshot`]. Returns
+    /// `None` if any device in the stack does not support snapshotting.
+    ///
+    /// [`UfsSnapshot::restore`] yields an independent system that continues
+    /// exactly as this one would; observability handles are not captured (a
+    /// restored system starts detached).
+    pub fn snapshot(&self) -> Option<UfsSnapshot> {
+        Some(UfsSnapshot {
+            dev: self.dev.snapshot()?,
+            host: self.host,
+            layout: self.layout,
+            cfg: self.cfg,
+            inode_bm: self.inode_bm.clone(),
+            block_bm: self.block_bm.clone(),
+            cache: self.cache.clone(),
+            names: self.names.clone(),
+            dir_slots: self.dir_slots.clone(),
+            child_count: self.child_count.clone(),
+            handles: self.handles.clone(),
+            next_handle: self.next_handle,
+            seq_state: self.seq_state.clone(),
+            alloc_hint: self.alloc_hint,
+            dirty_ptrs: self.dirty_ptrs.clone(),
+            sync_data: self.sync_data,
+        })
     }
 
     /// Mount an existing file system, rebuilding in-memory state from disk.
@@ -328,7 +358,7 @@ impl Ufs {
 
     // ----- low-level block helpers ------------------------------------
 
-    fn cache_insert(&mut self, blk: u64, data: Rc<[u8]>, dirty: bool) -> FsResult<()> {
+    fn cache_insert(&mut self, blk: u64, data: Arc<[u8]>, dirty: bool) -> FsResult<()> {
         if self.cache.is_full()
             && !self.cache.contains(blk)
             && self.cfg.flush_on_full
@@ -359,21 +389,21 @@ impl Ufs {
     }
 
     /// Read a device block through the cache. The returned handle shares
-    /// the cached payload — a hit costs an `Rc` clone, not a 4 KB copy.
-    fn get_block(&mut self, blk: u64) -> FsResult<Rc<[u8]>> {
+    /// the cached payload — a hit costs an `Arc` clone, not a 4 KB copy.
+    fn get_block(&mut self, blk: u64) -> FsResult<Arc<[u8]>> {
         if let Some(d) = self.cache.get_rc(blk) {
             return Ok(d);
         }
         let mut buf = vec![0u8; BLOCK_SIZE];
         self.dev.read_block(blk, &mut buf)?;
-        let data: Rc<[u8]> = buf.into();
-        self.cache_insert(blk, Rc::clone(&data), false)?;
+        let data: Arc<[u8]> = buf.into();
+        self.cache_insert(blk, Arc::clone(&data), false)?;
         Ok(data)
     }
 
     /// Write a device block: synchronously (write-through) or delayed.
     fn put_block(&mut self, blk: u64, data: Vec<u8>, sync: bool) -> FsResult<()> {
-        let data: Rc<[u8]> = data.into();
+        let data: Arc<[u8]> = data.into();
         if sync {
             self.dev.write_block(blk, &data)?;
             self.cache_insert(blk, data, false)
@@ -1060,6 +1090,72 @@ impl Ufs {
             },
         );
         Ok(())
+    }
+}
+
+/// A point-in-time image of a mounted [`Ufs`] and the whole device stack
+/// under it. Plain data and `Send + Sync`: captured once, it can be
+/// restored concurrently from many worker threads, each restore yielding a
+/// fully independent system whose media pages and cache payloads are
+/// shared copy-on-write with the snapshot and with sibling forks.
+pub struct UfsSnapshot {
+    dev: Box<dyn DeviceSnapshot>,
+    host: HostModel,
+    layout: Layout,
+    cfg: UfsConfig,
+    inode_bm: Bitmap,
+    block_bm: Bitmap,
+    cache: BufferCache,
+    names: HashMap<String, PathEntry>,
+    dir_slots: HashMap<u32, Vec<bool>>,
+    child_count: HashMap<u32, u32>,
+    handles: HashMap<FileId, u32>,
+    next_handle: FileId,
+    seq_state: HashMap<u32, (u64, u64)>,
+    alloc_hint: u64,
+    dirty_ptrs: std::collections::BTreeSet<u64>,
+    sync_data: bool,
+}
+
+// Snapshots must cross thread boundaries: the whole point is to capture
+// once and restore from parallel figure-cell workers.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<UfsSnapshot>();
+};
+
+impl UfsSnapshot {
+    /// Materialise an independent live system from this snapshot.
+    pub fn restore(&self) -> Ufs {
+        let dev = self.dev.restore();
+        let spans = dev.spans();
+        Ufs {
+            dev,
+            host: self.host,
+            layout: self.layout,
+            cfg: self.cfg,
+            inode_bm: self.inode_bm.clone(),
+            block_bm: self.block_bm.clone(),
+            cache: self.cache.clone(),
+            names: self.names.clone(),
+            dir_slots: self.dir_slots.clone(),
+            child_count: self.child_count.clone(),
+            handles: self.handles.clone(),
+            next_handle: self.next_handle,
+            seq_state: self.seq_state.clone(),
+            alloc_hint: self.alloc_hint,
+            dirty_ptrs: self.dirty_ptrs.clone(),
+            sync_data: self.sync_data,
+            metrics: disksim::Metrics::disabled(),
+            spans,
+        }
+    }
+
+    /// Simulation events the captured system had consumed. A fork credits
+    /// these to the global counter ([`disksim::clock::add_events`]) so the
+    /// per-figure event totals match a from-scratch rebuild exactly.
+    pub fn local_events(&self) -> u64 {
+        self.dev.local_events()
     }
 }
 

@@ -29,7 +29,7 @@ pub mod fsck;
 pub mod inode;
 pub mod layout;
 
-pub use fs::{Ufs, UfsConfig};
+pub use fs::{Ufs, UfsConfig, UfsSnapshot};
 pub use fsck::{fsck, fsck_repair, FsckError, FsckReport};
 pub use layout::{Layout, BLOCK_SIZE};
 
