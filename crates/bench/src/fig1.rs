@@ -54,19 +54,25 @@ fn simulate_point(spec: &disksim::DiskSpec, p: f64, writes: u32, seed: u64) -> f
     let mut free = FreeMap::new(&g);
     let mut rng = crate::workload::rng(seed);
 
-    // Randomly occupy (1-p) of all sectors.
+    // Randomly occupy (1-p) of all sectors. Rejection-sample against a flat
+    // LBA bitmap (same accept/reject decisions — and so the same RNG stream
+    // and the same occupancy — as testing `FreeMap::is_free` on a map that
+    // starts all-free), then apply the whole occupancy in one bulk pass:
+    // per-sector `allocate` calls rebuild the utilization index ~`total`
+    // times and used to dominate this figure's wall time.
     let total = g.total_sectors();
     let occupy = ((1.0 - p) * total as f64) as u64;
     let mut used: Vec<u64> = Vec::with_capacity(occupy as usize);
+    let mut used_bits = vec![0u64; (total as usize).div_ceil(64)];
     while (used.len() as u64) < occupy {
         let lba = rng.gen_range(0..total);
-        let ph = g.lba_to_phys(lba).expect("in range");
-        if free.is_free(ph.cyl, ph.track, ph.sector) {
-            free.allocate(ph.cyl, ph.track, ph.sector, 1)
-                .expect("valid");
+        let (q, m) = (lba as usize / 64, 1u64 << (lba % 64));
+        if used_bits[q] & m == 0 {
+            used_bits[q] |= m;
             used.push(lba);
         }
     }
+    free.allocate_bulk(&used_bits);
 
     // Greedy two-way eager writer; keep utilisation constant by freeing a
     // random used sector per write.

@@ -18,7 +18,45 @@
 //! firmware running inside the drive — precisely the paper's premise.
 
 use crate::freemap::FreeMap;
-use disksim::{Disk, Metrics, ServiceTime};
+use disksim::{CylinderPricer, Disk, Metrics, ServiceTime, TrackPricer};
+use std::sync::OnceLock;
+
+/// Which greedy-search implementation answers allocation queries. All three
+/// provably pick the same sector; they differ only in how much work they do
+/// to find it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocMode {
+    /// Best-first over the [`FreeMap::frontier`] with early exit: stop at
+    /// the first candidate whose exact cost meets its frontier lower bound.
+    Fast,
+    /// The PR 2 pruned scan: sweep cylinders, reject tracks whose
+    /// repositioning lower bound cannot beat the incumbent.
+    Pruned,
+    /// The naive exhaustive oracle: price every reachable slot, take the
+    /// `min_by_key`.
+    Reference,
+}
+
+/// The process-wide allocator mode: `VLFS_ALLOC={fast,pruned,reference}`,
+/// defaulting to [`AllocMode::Fast`] — or to [`AllocMode::Reference`] when
+/// reference mode (`VLFS_REFERENCE=1`) selects every pre-optimisation
+/// oracle path and `VLFS_ALLOC` is not set explicitly. Read once.
+pub fn alloc_mode() -> AllocMode {
+    static MODE: OnceLock<AllocMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("VLFS_ALLOC") {
+        Ok(v) if v == "fast" => AllocMode::Fast,
+        Ok(v) if v == "pruned" => AllocMode::Pruned,
+        Ok(v) if v == "reference" => AllocMode::Reference,
+        Ok(v) => panic!("VLFS_ALLOC: unknown mode {v:?} (expected fast|pruned|reference)"),
+        Err(_) => {
+            if disksim::reference_mode() {
+                AllocMode::Reference
+            } else {
+                AllocMode::Fast
+            }
+        }
+    })
+}
 
 /// A chosen allocation target and its predicted positioning cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +102,8 @@ impl Default for AllocConfig {
 #[derive(Debug, Clone)]
 pub struct EagerAllocator {
     cfg: AllocConfig,
+    /// Which search implementation answers queries (identical answers).
+    mode: AllocMode,
     /// The empty track currently being filled under the threshold policy.
     fill_track: Option<(u32, u32)>,
     /// A track allocations must avoid (set while the compactor empties it,
@@ -80,25 +120,41 @@ pub struct EagerAllocator {
 #[derive(Debug, Clone, Copy)]
 pub struct AllocatorState {
     cfg: AllocConfig,
+    mode: AllocMode,
     fill_track: Option<(u32, u32)>,
     avoid: Option<(u32, u32)>,
 }
 
 impl EagerAllocator {
-    /// Create an allocator with the given configuration.
+    /// Create an allocator with the given configuration, in the
+    /// process-wide [`alloc_mode`].
     pub fn new(cfg: AllocConfig) -> Self {
+        Self::with_mode(cfg, alloc_mode())
+    }
+
+    /// Create an allocator pinned to an explicit search mode, regardless of
+    /// the `VLFS_ALLOC` environment (equivalence tests and microbenchmarks
+    /// compare the modes side by side within one process).
+    pub fn with_mode(cfg: AllocConfig, mode: AllocMode) -> Self {
         Self {
             cfg,
+            mode,
             fill_track: None,
             avoid: None,
             metrics: Metrics::disabled(),
         }
     }
 
+    /// The search mode in force.
+    pub fn mode(&self) -> AllocMode {
+        self.mode
+    }
+
     /// Capture the mutable state for a later [`EagerAllocator::from_state`].
     pub fn state(&self) -> AllocatorState {
         AllocatorState {
             cfg: self.cfg,
+            mode: self.mode,
             fill_track: self.fill_track,
             avoid: self.avoid,
         }
@@ -108,6 +164,7 @@ impl EagerAllocator {
     pub fn from_state(state: &AllocatorState) -> Self {
         Self {
             cfg: state.cfg,
+            mode: state.mode,
             fill_track: state.fill_track,
             avoid: state.avoid,
             metrics: Metrics::disabled(),
@@ -161,7 +218,7 @@ impl EagerAllocator {
         // still has room for an aligned slot.
         if let Some((c, t)) = self.fill_track {
             if free.track_utilization(c, t) < self.cfg.threshold {
-                if let Some(cand) = self.best_in_track(disk, free, c, t, align, u64::MAX) {
+                if let Some(cand) = self.track_candidate(disk, free, c, t, align) {
                     return Some(cand);
                 }
             }
@@ -174,7 +231,28 @@ impl EagerAllocator {
             return None;
         }
         self.fill_track = Some(next);
-        self.best_in_track(disk, free, next.0, next.1, align, u64::MAX)
+        self.track_candidate(disk, free, next.0, next.1, align)
+    }
+
+    /// Price one track with no incumbent bound, through the primitive the
+    /// allocator's mode selects (the indexed word-scan, or the naive linear
+    /// scan in reference mode — same answer by the equivalence tests).
+    fn track_candidate(
+        &self,
+        disk: &Disk,
+        free: &FreeMap,
+        cyl: u32,
+        track: u32,
+        align: u32,
+    ) -> Option<Candidate> {
+        match self.mode {
+            AllocMode::Reference => {
+                reference::best_in_track(disk, free, self.avoid, cyl, track, align)
+            }
+            AllocMode::Fast | AllocMode::Pruned => {
+                self.best_in_track(disk, free, cyl, track, align, u64::MAX)
+            }
+        }
     }
 
     /// Cheapest candidate on one track: the first free (aligned) slot in
@@ -194,15 +272,51 @@ impl EagerAllocator {
         align: u32,
         incumbent_ns: u64,
     ) -> Option<Candidate> {
-        if self.avoid == Some((cyl, track)) {
-            return None;
-        }
         if disk.reposition_lower_bound_ns(cyl, track) >= incumbent_ns {
             return None;
         }
-        let arrival = disk.arrival_sector(cyl, track).ok()?;
-        let sector = free.first_aligned_from(cyl, track, arrival, align)?;
-        let cost = disk.position_cost(cyl, track, sector).ok()?;
+        self.price_track(disk, free, cyl, track, align)
+    }
+
+    /// Price one track with no lower-bound prune: the first free (aligned)
+    /// slot in rotational encounter order from the head's arrival position.
+    /// The best-first frontier consumers call this directly — the frontier
+    /// already computed each unit's exact lower bound, and its ordered
+    /// early-exit subsumes the per-track prune, so recomputing
+    /// `reposition_lower_bound_ns` here would be pure double work. The
+    /// one-shot [`Disk::track_pricer`] plan does the seek/arrival
+    /// trigonometry once instead of once per disk query.
+    #[inline]
+    fn price_track(
+        &self,
+        disk: &Disk,
+        free: &FreeMap,
+        cyl: u32,
+        track: u32,
+        align: u32,
+    ) -> Option<Candidate> {
+        let plan = disk.track_pricer(cyl, track).ok()?;
+        self.price_planned(disk, free, cyl, track, align, &plan)
+    }
+
+    /// Price one track through an already-built [`TrackPricer`] plan: scan
+    /// the free map from the plan's arrival sector, cost the hit with the
+    /// plan's cached angular state.
+    #[inline]
+    fn price_planned(
+        &self,
+        disk: &Disk,
+        free: &FreeMap,
+        cyl: u32,
+        track: u32,
+        align: u32,
+        plan: &TrackPricer,
+    ) -> Option<Candidate> {
+        if self.avoid == Some((cyl, track)) {
+            return None;
+        }
+        let sector = free.first_aligned_from(cyl, track, plan.arrival, align)?;
+        let cost = disk.priced_cost(plan, sector);
         Some(Candidate {
             cyl,
             track,
@@ -245,9 +359,29 @@ impl EagerAllocator {
 
     /// Greedy search: current cylinder first, then widening. One-way mode
     /// walks forward (wrapping) and takes the first cylinder with space;
-    /// two-way mode alternates ±d and prunes once the seek alone exceeds
-    /// the best candidate found.
+    /// two-way mode alternates ±d and stops once no unvisited location can
+    /// beat the best candidate found. Dispatches on the allocator's mode;
+    /// all three implementations return the identical candidate.
     fn greedy(&mut self, disk: &Disk, free: &FreeMap, align: u32) -> Option<Candidate> {
+        match self.mode {
+            AllocMode::Reference => {
+                reference::greedy(disk, free, self.avoid, align, self.cfg.one_way_sweep)
+            }
+            AllocMode::Pruned => self.greedy_pruned(disk, free, align),
+            AllocMode::Fast => {
+                if self.cfg.one_way_sweep {
+                    self.greedy_fast_one_way(disk, free, align)
+                } else {
+                    self.greedy_fast_two_way(disk, free, align)
+                }
+            }
+        }
+    }
+
+    /// The PR 2 pruned scan (retained behind `VLFS_ALLOC=pruned`): sweep
+    /// cylinders in search order, thread the incumbent's cost through the
+    /// per-track repositioning lower bound.
+    fn greedy_pruned(&self, disk: &Disk, free: &FreeMap, align: u32) -> Option<Candidate> {
         let cyls = free.cylinders();
         let cur = disk.head().cyl;
         if self.cfg.one_way_sweep {
@@ -282,6 +416,150 @@ impl EagerAllocator {
             }
             best
         }
+    }
+
+    /// Best-first two-way search over the [`FreeMap::frontier`].
+    ///
+    /// Tracks arrive in nondecreasing order of their exact repositioning
+    /// lower bound, so the loop stops at the first unit whose bound
+    /// strictly exceeds the incumbent's exact cost: every unvisited track
+    /// can then only yield strictly costlier candidates. Units whose bound
+    /// *equals* the incumbent's cost are still priced — they can tie, and a
+    /// tie is won by the track the reference scan visits first, which is
+    /// what the lexicographic `(cost, rank)` replacement below decides.
+    /// Hence the result equals the reference `min_by_key` pick exactly.
+    fn greedy_fast_two_way(&self, disk: &Disk, free: &FreeMap, align: u32) -> Option<Candidate> {
+        let head = disk.head();
+        let switch = disk.spec().mech.head_switch_ns;
+        let mut best: Option<(Candidate, u64, u64)> = None; // (cand, total_ns, rank)
+        // The frontier drains each cylinder's tracks contiguously, so one
+        // cylinder-wide plan (seek + arrival-angle divisions) serves every
+        // unit of the group; only the per-track skew is new work.
+        let mut cached: Option<(u32, CylinderPricer)> = None;
+        for unit in free.frontier(head.cyl, head.track, switch, |d| disk.seek_ns(d), align) {
+            if let Some((_, total, _)) = &best {
+                if unit.lower_bound_ns > *total {
+                    break;
+                }
+            }
+            // Price with no per-track prune: the frontier's ordered bounds
+            // make the `break` above the complete prune — any unit that
+            // survives it has `lower_bound_ns <= incumbent`, exactly the
+            // units a `>= incumbent + 1` prune would keep (equal-cost,
+            // lower-rank ties included, resolved by the rank comparison
+            // below).
+            let c = if unit.cyl == head.cyl && unit.track == head.track {
+                self.price_track(disk, free, unit.cyl, unit.track, align)
+            } else {
+                let plan = match &cached {
+                    Some((pc, p)) if *pc == unit.cyl => *p,
+                    _ => match disk.cylinder_pricer(unit.cyl) {
+                        Ok(p) => {
+                            cached = Some((unit.cyl, p));
+                            p
+                        }
+                        Err(_) => continue,
+                    },
+                };
+                let tp = disk.track_pricer_from(&plan, unit.track);
+                self.price_planned(disk, free, unit.cyl, unit.track, align, &tp)
+            };
+            let Some(c) = c else {
+                continue;
+            };
+            let total = c.cost.total_ns();
+            let better = match &best {
+                None => true,
+                Some((_, bt, rank)) => total < *bt || (total == *bt && unit.rank < *rank),
+            };
+            if better {
+                best = Some((c, total, unit.rank));
+            }
+        }
+        best.map(|(c, _, _)| c)
+    }
+
+    /// Best-first one-way search: the cylinder choice is sweep order (first
+    /// cylinder with any candidate, exactly as the reference behaves), but
+    /// within the head's own cylinder the head track (lower bound 0) is
+    /// priced first and wins outright when its candidate costs less than a
+    /// head switch — the common mostly-empty-track case prices one track
+    /// instead of scanning the cylinder.
+    fn greedy_fast_one_way(&self, disk: &Disk, free: &FreeMap, align: u32) -> Option<Candidate> {
+        let cyls = free.cylinders();
+        let head = disk.head();
+        for w in 0..cyls {
+            let c = (head.cyl + w) % cyls;
+            if !free.cylinder_has_candidate(c, align) {
+                continue;
+            }
+            let cand = if c == head.cyl {
+                self.best_first_in_head_cylinder(disk, free, align)
+            } else {
+                self.best_in_cylinder(disk, free, c, align, u64::MAX)
+            };
+            if cand.is_some() {
+                return cand;
+            }
+        }
+        None
+    }
+
+    /// Best candidate within the head's cylinder, head track first. Ties
+    /// across tracks resolve to the lowest track index (the reference
+    /// scans tracks in order with first-wins `min_by_key`), so replacement
+    /// is lexicographic on `(cost, track)` and the early exits are strict.
+    fn best_first_in_head_cylinder(
+        &self,
+        disk: &Disk,
+        free: &FreeMap,
+        align: u32,
+    ) -> Option<Candidate> {
+        let head = disk.head();
+        let switch = disk.spec().mech.head_switch_ns;
+        let tracks = free.tracks_in_cylinder();
+        let mut best: Option<Candidate> = None;
+        if let Some(c) = self.price_track(disk, free, head.cyl, head.track, align) {
+            if c.cost.total_ns() < switch {
+                // Every other track costs at least a head switch: strictly
+                // worse, and a tie is impossible.
+                return Some(c);
+            }
+            best = Some(c);
+        }
+        // One cylinder-wide plan covers every non-head track (all reached
+        // with the same head switch).
+        let Ok(plan) = disk.cylinder_pricer(head.cyl) else {
+            return best;
+        };
+        for t in 0..tracks {
+            if t == head.track {
+                continue;
+            }
+            if let Some(b) = &best {
+                if b.cost.total_ns() < switch {
+                    break;
+                }
+            }
+            // No per-track prune: every non-head track's lower bound is
+            // exactly the head-switch cost, and the `break` above already
+            // exits once the incumbent beats a head switch — the prune
+            // could never fire beyond it.
+            let tp = disk.track_pricer_from(&plan, t);
+            if let Some(c) = self.price_planned(disk, free, head.cyl, t, align, &tp) {
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        c.cost.total_ns() < b.cost.total_ns()
+                            || (c.cost.total_ns() == b.cost.total_ns() && t < b.track)
+                    }
+                };
+                if better {
+                    best = Some(c);
+                }
+            }
+        }
+        best
     }
 
     /// Forget the current fill track (e.g. after a compaction pass changed
@@ -545,12 +823,13 @@ mod tests {
 
     /// The tentpole's safety net: across random fill patterns, head
     /// positions, rotation phases, disks, sweep modes, alignments and avoid
-    /// tracks, the indexed/pruned allocator must choose *exactly* what the
-    /// retained naive reference chooses — same sector, same predicted cost.
-    /// Both search in the same order with first-wins ties, so equality is
-    /// full, not just cost equality.
+    /// tracks, all three allocator modes — best-first indexed, pruned scan,
+    /// naive reference — must choose *exactly* the same candidate: same
+    /// sector, same predicted cost. All searches resolve ties to the
+    /// reference scan's first-wins order, so equality is full, not just
+    /// cost equality.
     #[test]
-    fn pruned_allocator_matches_naive_reference() {
+    fn allocator_modes_choose_identically() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         for spec0 in [DiskSpec::hp97560_sim(), DiskSpec::st19101_sim()] {
@@ -593,29 +872,119 @@ mod tests {
                         disk.seek_to(rng.gen_range(0..cyls), rng.gen_range(0..tracks))
                             .unwrap();
                         clock.advance(rng.gen_range(0..spec.mech.revolution_ns()));
-                        let mut a = EagerAllocator::new(AllocConfig {
+                        let cfg = AllocConfig {
                             one_way_sweep: one_way,
                             threshold_fill: false,
                             ..AllocConfig::default()
-                        });
-                        a.set_avoid(avoid);
+                        };
                         for align in [8u32, 1] {
-                            let fast = if align == 8 {
-                                a.find_block(&disk, &free)
-                            } else {
-                                a.find_sector(&disk, &free)
-                            };
-                            let naive = reference::greedy(&disk, &free, avoid, align, one_way);
-                            assert_eq!(
-                                fast, naive,
+                            let picks: Vec<Option<Candidate>> =
+                                [AllocMode::Fast, AllocMode::Pruned, AllocMode::Reference]
+                                    .into_iter()
+                                    .map(|mode| {
+                                        let mut a = EagerAllocator::with_mode(cfg, mode);
+                                        a.set_avoid(avoid);
+                                        if align == 8 {
+                                            a.find_block(&disk, &free)
+                                        } else {
+                                            a.find_sector(&disk, &free)
+                                        }
+                                    })
+                                    .collect();
+                            assert!(
+                                picks[0] == picks[2] && picks[1] == picks[2],
                                 "divergence: cyls={cyls} util={util} one_way={one_way} \
-                                 align={align} avoid={avoid:?} head={:?}",
-                                disk.head()
+                                 align={align} avoid={avoid:?} head={:?} \
+                                 fast={:?} pruned={:?} reference={:?}",
+                                disk.head(),
+                                picks[0],
+                                picks[1],
+                                picks[2]
                             );
                         }
                     }
                 }
             }
+        }
+    }
+
+    /// Hand-built equal-cost ties: every mode must resolve them to the
+    /// track the reference scan visits first.
+    #[test]
+    fn tie_breaking_matches_reference_scan_order() {
+        let modes = [AllocMode::Fast, AllocMode::Pruned, AllocMode::Reference];
+        // Mirrored cylinders: the head sits on cylinder 10 with its own
+        // cylinder (and everything within distance 2) full; cylinders 8 and
+        // 12 each keep one identical free block. Seek, arrival sector and
+        // rotation are mirror-equal, so the costs tie exactly; the
+        // reference scan visits `cur - d` before `cur + d`.
+        for one_way in [false, true] {
+            let (mut disk, mut free) = setup();
+            disk.seek_to(10, 3).unwrap();
+            for cyl in 0..36 {
+                for t in 0..19 {
+                    free.allocate(cyl, t, 0, 72).unwrap();
+                }
+            }
+            free.release(8, 3, 16, 8).unwrap();
+            free.release(12, 3, 16, 8).unwrap();
+            let picks: Vec<Candidate> = modes
+                .iter()
+                .map(|&m| {
+                    let mut a = EagerAllocator::with_mode(
+                        AllocConfig {
+                            one_way_sweep: one_way,
+                            threshold_fill: false,
+                            ..AllocConfig::default()
+                        },
+                        m,
+                    );
+                    a.find_block(&disk, &free).unwrap()
+                })
+                .collect();
+            assert_eq!(picks[0], picks[1]);
+            assert_eq!(picks[1], picks[2]);
+            if !one_way {
+                assert_eq!(
+                    (picks[0].cyl, picks[0].track),
+                    (8, 3),
+                    "two-way tie must go to the lower cylinder (visited first)"
+                );
+            }
+        }
+        // Same-cylinder track tie: head on track 15 of cylinder 0, one free
+        // block each on tracks 2 and 10, placed at the *same angle* (the
+        // HP's track skew is 13 of 72 sectors, so tracks 8 apart with start
+        // sectors 32 apart coincide: 40 + 13·2 ≡ 8 + 13·10 (mod 72)). Head
+        // switch and rotation are then equal — first-wins goes to the
+        // lower track index.
+        let (mut disk, mut free) = setup();
+        disk.seek_to(0, 15).unwrap();
+        for cyl in 0..36 {
+            for t in 0..19 {
+                free.allocate(cyl, t, 0, 72).unwrap();
+            }
+        }
+        free.release(0, 2, 40, 8).unwrap();
+        free.release(0, 10, 8, 8).unwrap();
+        for one_way in [false, true] {
+            let picks: Vec<Candidate> = modes
+                .iter()
+                .map(|&m| {
+                    let mut a = EagerAllocator::with_mode(
+                        AllocConfig {
+                            one_way_sweep: one_way,
+                            threshold_fill: false,
+                            ..AllocConfig::default()
+                        },
+                        m,
+                    );
+                    a.find_block(&disk, &free).unwrap()
+                })
+                .collect();
+            assert_eq!(picks[0], picks[1], "one_way={one_way}");
+            assert_eq!(picks[1], picks[2], "one_way={one_way}");
+            assert_eq!((picks[0].cyl, picks[0].track), (0, 2), "one_way={one_way}");
         }
     }
 

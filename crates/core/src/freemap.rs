@@ -180,6 +180,17 @@ impl FreeMap {
         (self.bits[ti][slot as usize / 8] >> ((slot % 8) * 8)) & 0xFF == 0xFF
     }
 
+    /// SWAR reduction of one bitmap word to its free-slot mask: bit `8k` of
+    /// the result is set iff byte `k` of `w` is `0xFF`, i.e. iff aligned
+    /// slot `k` of the word is entirely free. Bits beyond the track end are
+    /// zero by construction, so invalid tail slots can never read as free.
+    #[inline]
+    fn free_slot_bits(w: u64) -> u64 {
+        let m = w & (w >> 4);
+        let m = m & (m >> 2);
+        (m & (m >> 1)) & 0x0101_0101_0101_0101
+    }
+
     fn set(&mut self, cyl: u32, track: u32, sector: u32, count: u32, free: bool) -> Result<()> {
         let ti = self.track_index(cyl, track);
         let spt = self.spt[ti];
@@ -261,6 +272,72 @@ impl FreeMap {
     /// Mark sectors free. Idempotent.
     pub fn release(&mut self, cyl: u32, track: u32, sector: u32, count: u32) -> Result<()> {
         self.set(cyl, track, sector, count, true)
+    }
+
+    /// Mark every sector whose bit is set in `used` as allocated, in one
+    /// pass. `used` is a flat LBA-indexed bitmap (bit `lba` of
+    /// `used[lba / 64]`); LBAs enumerate `(cyl, track, sector)` in
+    /// lexicographic order, so each track is a contiguous bit range that is
+    /// stitched into the per-track words with two shifts. Summaries are
+    /// rebuilt once at the end instead of being maintained per sector,
+    /// which is what makes this O(total/64) rather than O(total · log).
+    /// Equivalent to calling [`FreeMap::allocate`] for each set bit.
+    pub fn allocate_bulk(&mut self, used: &[u64]) {
+        let mut base = 0u64; // LBA of this track's sector 0
+        for ti in 0..self.bits.len() {
+            let nwords = self.bits[ti].len();
+            for wi in 0..nwords {
+                let bit = base + wi as u64 * 64;
+                let q = (bit / 64) as usize;
+                let r = (bit % 64) as u32;
+                let lo = used.get(q).copied().unwrap_or(0) >> r;
+                let hi = if r == 0 {
+                    0
+                } else {
+                    used.get(q + 1).copied().unwrap_or(0) << (64 - r)
+                };
+                // Clearing positions beyond the track end is harmless: those
+                // bits are already zero by construction.
+                self.bits[ti][wi] &= !(lo | hi);
+            }
+            base += self.spt[ti] as u64;
+        }
+        self.rebuild_summaries();
+    }
+
+    /// Recompute every summary (counts, per-cylinder rollups, the
+    /// utilization index) from the bitmaps, after a bulk mutation.
+    fn rebuild_summaries(&mut self) {
+        let tracks_per_cyl = self.tracks_per_cyl as usize;
+        let n_cyls = self.bits.len() / tracks_per_cyl;
+        self.total_free = 0;
+        self.empty_tracks = 0;
+        self.cyl_free = vec![0; n_cyls];
+        self.cyl_aligned = vec![0; n_cyls];
+        self.cyl_empty = vec![0; n_cyls];
+        self.occ_by_util.clear();
+        for ti in 0..self.bits.len() {
+            let spt = self.spt[ti];
+            let cyl = ti / tracks_per_cyl;
+            let free: u32 = self.bits[ti].iter().map(|w| w.count_ones()).sum();
+            let aligned: u32 = self
+                .bits[ti]
+                .iter()
+                .map(|&w| Self::free_slot_bits(w).count_ones())
+                .sum();
+            self.free_count[ti] = free;
+            self.aligned_free[ti] = aligned;
+            self.total_free += free as u64;
+            self.cyl_free[cyl] += free as u64;
+            self.cyl_aligned[cyl] += aligned;
+            if free == spt {
+                self.empty_tracks += 1;
+                self.cyl_empty[cyl] += 1;
+            } else {
+                self.occ_by_util
+                    .insert((Self::util_key(spt, free), ti as u32));
+            }
+        }
     }
 
     /// Iterate the free single sectors of a track, starting the scan at
@@ -371,12 +448,34 @@ impl FreeMap {
         if self.aligned_free[ti] == 0 {
             return None;
         }
+        // Word-at-a-time: reduce each 64-bit word to its free-slot mask and
+        // find the first set slot bit with `trailing_zeros`, instead of
+        // byte-testing slots one by one. Same cyclic slot order as the
+        // per-slot scan: start word (high slots), later words, earlier
+        // words, start word (low slots).
         let slots = self.spt[ti] / align;
         let start_slot = from_sector.div_ceil(align) % slots;
-        (0..slots)
-            .map(|i| (start_slot + i) % slots)
-            .find(|&slot| self.slot_free(ti, slot))
-            .map(|slot| slot * align)
+        let words = &self.bits[ti];
+        let ws = start_slot as usize / 8;
+        let shift = (start_slot % 8) * 8;
+        let m = Self::free_slot_bits(words[ws]) & (u64::MAX << shift);
+        if m != 0 {
+            return Some((ws as u32 * 8 + m.trailing_zeros() / 8) * align);
+        }
+        for (wi, &w) in words.iter().enumerate().skip(ws + 1) {
+            let m = Self::free_slot_bits(w);
+            if m != 0 {
+                return Some((wi as u32 * 8 + m.trailing_zeros() / 8) * align);
+            }
+        }
+        for (wi, &w) in words.iter().enumerate().take(ws) {
+            let m = Self::free_slot_bits(w);
+            if m != 0 {
+                return Some((wi as u32 * 8 + m.trailing_zeros() / 8) * align);
+            }
+        }
+        let m = Self::free_slot_bits(words[ws]) & !(u64::MAX << shift);
+        (m != 0).then(|| (ws as u32 * 8 + m.trailing_zeros() / 8) * align)
     }
 
     /// Free sectors in a whole cylinder.
@@ -475,6 +574,229 @@ impl FreeMap {
             .iter()
             .map(|&(_, ti)| (ti / self.tracks_per_cyl, ti % self.tracks_per_cyl))
             .find(|&(c, t)| !exclude(c, t))
+    }
+
+    /// Could this track possibly hold a free run of `align` sectors? Exact
+    /// for 1 and [`INDEX_ALIGN`]; a conservative (never false-negative)
+    /// free-count bound otherwise. O(1).
+    #[inline]
+    pub fn track_has_candidate(&self, cyl: u32, track: u32, align: u32) -> bool {
+        let ti = self.track_index(cyl, track);
+        match align {
+            1 => self.free_count[ti] > 0,
+            INDEX_ALIGN => self.aligned_free[ti] > 0,
+            a => self.free_count[ti] >= a,
+        }
+    }
+
+    /// The best-first allocation frontier: every track that might hold a
+    /// free run of `align` sectors, in **nondecreasing order of the exact
+    /// repositioning lower bound** from head position
+    /// `(cur_cyl, cur_track)` — the same quantity
+    /// `Disk::reposition_lower_bound_ns` computes (0 for the head's own
+    /// track, `head_switch_ns` for the rest of its cylinder since a
+    /// zero-distance seek is free, `seek_ns(d)` alone for a cylinder `d`
+    /// away, whichever head). A best-first consumer can stop at the first
+    /// unit whose lower bound exceeds its incumbent's exact cost.
+    ///
+    /// No heap is needed: `seek_ns` is nondecreasing in distance, so the
+    /// ordering is a lazy two-stream merge of "rest of the current
+    /// cylinder" (constant bound `head_switch_ns`) with "cylinder rings
+    /// outward" (bound `seek_ns(d)`), plus the head track first. Cylinders
+    /// and tracks with no possible candidate are skipped via the O(1)
+    /// summaries. Each unit carries its [`FrontierTrack::rank`] in the
+    /// reference scan order for exact tie-breaking.
+    pub fn frontier<'a, F: Fn(u32) -> u64 + 'a>(
+        &'a self,
+        cur_cyl: u32,
+        cur_track: u32,
+        head_switch_ns: u64,
+        seek_ns: F,
+        align: u32,
+    ) -> Frontier<'a, F> {
+        let mut f = Frontier {
+            map: self,
+            seek_ns,
+            align,
+            cur_cyl,
+            cur_track,
+            head_switch_ns,
+            cyls: self.cylinders(),
+            tracks: self.tracks_per_cyl,
+            head_emitted: false,
+            same_t: 0,
+            d: 1,
+            side: 0,
+            drain: None,
+            next_b: None,
+            last_lb: 0,
+        };
+        f.next_b = f.take_next_cylinder();
+        f
+    }
+}
+
+/// One unit of the best-first allocation frontier: a track, the exact lower
+/// bound on the positioning cost of any candidate on it, and the track's
+/// rank in the reference two-way scan order (distance-major, lower cylinder
+/// before higher at each distance, track-minor) — minimising the pair
+/// `(exact cost, rank)` lexicographically reproduces the reference scan's
+/// `min_by_key` first-wins tie-breaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierTrack {
+    /// Cylinder of the track.
+    pub cyl: u32,
+    /// Track (head) within the cylinder.
+    pub track: u32,
+    /// Exact repositioning lower bound from the head position the frontier
+    /// was opened at.
+    pub lower_bound_ns: u64,
+    /// Position in the reference scan order, for tie-breaking.
+    pub rank: u64,
+}
+
+/// Iterator state for [`FreeMap::frontier`].
+#[derive(Debug)]
+pub struct Frontier<'a, F> {
+    map: &'a FreeMap,
+    seek_ns: F,
+    align: u32,
+    cur_cyl: u32,
+    cur_track: u32,
+    head_switch_ns: u64,
+    cyls: u32,
+    tracks: u32,
+    head_emitted: bool,
+    /// Next track of the current cylinder to consider (stream A).
+    same_t: u32,
+    /// Next cylinder distance to open (stream B).
+    d: u32,
+    /// Which side of distance `d` is next: 0 = `cur - d`, 1 = `cur + d`.
+    side: u8,
+    /// The foreign cylinder currently being drained track by track.
+    drain: Option<DrainCyl>,
+    /// One-cylinder lookahead into stream B, so the A/B merge compares
+    /// against the bound of the next cylinder that can actually produce a
+    /// candidate.
+    next_b: Option<DrainCyl>,
+    /// Last emitted bound (debug ordering check).
+    last_lb: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DrainCyl {
+    cyl: u32,
+    lower_bound_ns: u64,
+    ord: u64,
+    next_t: u32,
+}
+
+impl<F: Fn(u32) -> u64> Frontier<'_, F> {
+    /// Advance stream B to the next cylinder (outward by distance, minus
+    /// side before plus) that can hold a candidate, O(1) per skipped
+    /// cylinder via the per-cylinder summaries.
+    fn take_next_cylinder(&mut self) -> Option<DrainCyl> {
+        while self.d < self.cyls {
+            let d = self.d;
+            let (cand, ord) = if self.side == 0 {
+                self.side = 1;
+                (self.cur_cyl.checked_sub(d), 2 * d as u64 - 1)
+            } else {
+                self.side = 0;
+                self.d += 1;
+                let c = self.cur_cyl + d;
+                ((c < self.cyls).then_some(c), 2 * d as u64)
+            };
+            if let Some(c) = cand {
+                if self.map.cylinder_has_candidate(c, self.align) {
+                    return Some(DrainCyl {
+                        cyl: c,
+                        lower_bound_ns: (self.seek_ns)(d),
+                        ord,
+                        next_t: 0,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn emit(&mut self, cyl: u32, track: u32, lower_bound_ns: u64, rank: u64) -> FrontierTrack {
+        debug_assert!(lower_bound_ns >= self.last_lb, "frontier out of order");
+        self.last_lb = lower_bound_ns;
+        FrontierTrack {
+            cyl,
+            track,
+            lower_bound_ns,
+            rank,
+        }
+    }
+}
+
+impl<F: Fn(u32) -> u64> Iterator for Frontier<'_, F> {
+    type Item = FrontierTrack;
+
+    fn next(&mut self) -> Option<FrontierTrack> {
+        let tracks = self.tracks as u64;
+        loop {
+            // The head's own track: lower bound 0, always first.
+            if !self.head_emitted {
+                self.head_emitted = true;
+                if self
+                    .map
+                    .track_has_candidate(self.cur_cyl, self.cur_track, self.align)
+                {
+                    let (c, t) = (self.cur_cyl, self.cur_track);
+                    return Some(self.emit(c, t, 0, t as u64));
+                }
+                continue;
+            }
+            // Drain the currently open foreign cylinder before any merge
+            // decision: all its tracks share one bound.
+            if let Some(dr) = &mut self.drain {
+                while dr.next_t < self.tracks {
+                    let t = dr.next_t;
+                    dr.next_t += 1;
+                    if self.map.track_has_candidate(dr.cyl, t, self.align) {
+                        let (c, lb, rank) = (dr.cyl, dr.lower_bound_ns, dr.ord * tracks + t as u64);
+                        return Some(self.emit(c, t, lb, rank));
+                    }
+                }
+                self.drain = None;
+                continue;
+            }
+            // Merge: remaining tracks of the current cylinder (bound =
+            // head switch) vs the next candidate cylinder (bound =
+            // seek(d)); emit from the cheaper stream, same-cylinder first
+            // on ties (equal bounds make emission order irrelevant to
+            // best-first consumers — ties are resolved by rank).
+            let a_avail = self.same_t < self.tracks;
+            if a_avail
+                && self
+                    .next_b
+                    .is_none_or(|b| self.head_switch_ns <= b.lower_bound_ns)
+            {
+                while self.same_t < self.tracks {
+                    let t = self.same_t;
+                    self.same_t += 1;
+                    if t == self.cur_track {
+                        continue;
+                    }
+                    if self.map.track_has_candidate(self.cur_cyl, t, self.align) {
+                        let (c, lb) = (self.cur_cyl, self.head_switch_ns);
+                        return Some(self.emit(c, t, lb, t as u64));
+                    }
+                }
+                continue;
+            }
+            match self.next_b.take() {
+                Some(b) => {
+                    self.drain = Some(b);
+                    self.next_b = self.take_next_cylinder();
+                }
+                None => return None,
+            }
+        }
     }
 }
 
@@ -644,6 +966,152 @@ mod tests {
                     .filter(|&(c, t)| m.free_in_track(c, t) < spt)
                     .count() as u32;
                 assert_eq!(m.nonempty_tracks(), nonempty);
+            }
+        }
+    }
+
+    /// Random occupancies: the SWAR word-scan aligned search must agree
+    /// with the linear per-slot oracle at every starting sector.
+    #[test]
+    fn swar_aligned_scan_matches_linear_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for (cyls, tracks, spt) in [(2u32, 2u32, 72u32), (2, 2, 256), (2, 1, 16)] {
+            let g = Geometry::uniform(cyls, tracks, spt);
+            let mut m = FreeMap::new(&g);
+            let mut rng = StdRng::seed_from_u64(0x5A4F ^ spt as u64);
+            for _ in 0..300 {
+                let c = rng.gen_range(0..cyls);
+                let t = rng.gen_range(0..tracks);
+                let s = rng.gen_range(0..spt);
+                if rng.gen_bool(0.6) {
+                    m.allocate(c, t, s, 1).unwrap();
+                } else {
+                    m.release(c, t, s, 1).unwrap();
+                }
+                let from = rng.gen_range(0..spt);
+                assert_eq!(
+                    m.first_aligned_from(c, t, from, INDEX_ALIGN),
+                    m.free_aligned_from(c, t, from, INDEX_ALIGN),
+                    "{cyls}x{tracks}x{spt} from={from}"
+                );
+            }
+        }
+    }
+
+    /// `allocate_bulk` over a random LBA bitmap must leave the map — bits
+    /// and every summary — identical to per-sector `allocate` calls.
+    #[test]
+    fn allocate_bulk_matches_per_sector_allocate() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for (cyls, tracks, spt) in [(4u32, 2u32, 16u32), (6, 3, 72), (3, 2, 256)] {
+            let g = Geometry::uniform(cyls, tracks, spt);
+            let total = g.total_sectors();
+            let mut rng = StdRng::seed_from_u64(0xB01C ^ total);
+            let mut used = vec![0u64; (total as usize).div_ceil(64)];
+            let mut seq = FreeMap::new(&g);
+            for lba in 0..total {
+                if rng.gen_bool(0.6) {
+                    used[lba as usize / 64] |= 1 << (lba % 64);
+                    let p = g.lba_to_phys(lba).unwrap();
+                    seq.allocate(p.cyl, p.track, p.sector, 1).unwrap();
+                }
+            }
+            let mut bulk = FreeMap::new(&g);
+            bulk.allocate_bulk(&used);
+            assert_eq!(bulk.free_sectors(), seq.free_sectors());
+            assert_eq!(bulk.empty_tracks(), seq.empty_tracks());
+            assert_eq!(bulk.nonempty_tracks(), seq.nonempty_tracks());
+            let no_excl = |_: u32, _: u32| false;
+            assert_eq!(
+                bulk.least_utilized_nonempty(no_excl),
+                seq.least_utilized_nonempty(no_excl)
+            );
+            for c in 0..cyls {
+                assert_eq!(bulk.free_in_cylinder(c), seq.free_in_cylinder(c));
+                assert_eq!(bulk.aligned_in_cylinder(c), seq.aligned_in_cylinder(c));
+                assert_eq!(bulk.empty_in_cylinder(c), seq.empty_in_cylinder(c));
+                for t in 0..tracks {
+                    assert_eq!(bulk.free_in_track(c, t), seq.free_in_track(c, t));
+                    for s in 0..spt {
+                        assert_eq!(bulk.is_free(c, t, s), seq.is_free(c, t, s));
+                    }
+                    assert_eq!(
+                        bulk.first_aligned_from(c, t, 3, INDEX_ALIGN),
+                        seq.first_aligned_from(c, t, 3, INDEX_ALIGN)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The frontier must (a) emit lower bounds in nondecreasing order, (b)
+    /// cover exactly the tracks that can hold a candidate, (c) report the
+    /// exact repositioning lower bound and the reference-scan rank.
+    #[test]
+    fn frontier_orders_exactly_by_lower_bound() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashSet;
+        let (cyls, tracks, spt) = (9u32, 3u32, 16u32);
+        let g = Geometry::uniform(cyls, tracks, spt);
+        let mut rng = StdRng::seed_from_u64(0xF407);
+        let seek = |d: u32| if d == 0 { 0 } else { 1_000 + 400 * d as u64 };
+        // Head switch both cheaper and dearer than a short seek.
+        for switch in [700u64, 2_600] {
+            let mut m = FreeMap::new(&g);
+            for c in 0..cyls {
+                for t in 0..tracks {
+                    for s in 0..spt {
+                        if rng.gen_bool(0.8) {
+                            m.allocate(c, t, s, 1).unwrap();
+                        }
+                    }
+                }
+            }
+            for align in [1u32, INDEX_ALIGN] {
+                let (hc, ht) = (rng.gen_range(0..cyls), rng.gen_range(0..tracks));
+                let units: Vec<FrontierTrack> =
+                    m.frontier(hc, ht, switch, seek, align).collect();
+                let mut last = 0u64;
+                let mut seen = HashSet::new();
+                let mut ranks = HashSet::new();
+                for u in &units {
+                    assert!(u.lower_bound_ns >= last, "out of order: {u:?}");
+                    last = u.lower_bound_ns;
+                    let expect = if u.cyl == hc {
+                        if u.track == ht {
+                            0
+                        } else {
+                            switch
+                        }
+                    } else {
+                        seek(hc.abs_diff(u.cyl))
+                    };
+                    assert_eq!(u.lower_bound_ns, expect, "{u:?}");
+                    let ord = if u.cyl == hc {
+                        0
+                    } else if u.cyl < hc {
+                        2 * (hc - u.cyl) as u64 - 1
+                    } else {
+                        2 * (u.cyl - hc) as u64
+                    };
+                    assert_eq!(u.rank, ord * tracks as u64 + u.track as u64);
+                    assert!(seen.insert((u.cyl, u.track)), "duplicate {u:?}");
+                    assert!(ranks.insert(u.rank));
+                }
+                // Coverage: exactly the tracks with a possible candidate
+                // (the per-track summary is exact for aligns 1 and 8).
+                for c in 0..cyls {
+                    for t in 0..tracks {
+                        assert_eq!(
+                            seen.contains(&(c, t)),
+                            m.track_has_candidate(c, t, align),
+                            "coverage {c},{t} align {align}"
+                        );
+                    }
+                }
             }
         }
     }

@@ -49,10 +49,10 @@ pub mod tail;
 pub mod vld;
 pub mod vlfs;
 
-pub use alloc::{AllocConfig, AllocatorState, Candidate, EagerAllocator};
+pub use alloc::{alloc_mode, AllocConfig, AllocMode, AllocatorState, Candidate, EagerAllocator};
 pub use checkpoint::{Checkpoint, CheckpointRegion};
 pub use compact::{CompactStats, Compactor, CompactorConfig, CompactorState, VictimPolicy};
-pub use freemap::FreeMap;
+pub use freemap::{FreeMap, Frontier, FrontierTrack};
 pub use log::{PieceLoc, VirtualLog, VlogSnapshot, VlogStats, BLOCK_BYTES, BLOCK_SECTORS};
 pub use mapsector::{MapFlags, MapSector, TxnInfo, PIECE_ENTRIES, UNMAPPED};
 pub use piecetable::PieceTable;

@@ -106,6 +106,10 @@ pub struct VirtualLog {
     /// Metrics handle (disabled by default): log-depth / pending-recycle
     /// gauges and the map-sector chain-length histogram.
     pub(crate) metrics: disksim::Metrics,
+    /// Scratch buffer for encoding map sectors: taken, filled and put back
+    /// by every append, so the write hot path performs no heap allocation
+    /// (the same pooling idiom as `disksim`'s track buffers).
+    append_buf: Vec<u8>,
 }
 
 impl VirtualLog {
@@ -150,6 +154,7 @@ impl VirtualLog {
             ckpt_use_b: true,
             stats: VlogStats::default(),
             metrics: disksim::Metrics::disabled(),
+            append_buf: Vec::new(),
         }
     }
 
@@ -215,6 +220,7 @@ impl VirtualLog {
             ckpt_use_b,
             stats: VlogStats::default(),
             metrics: disksim::Metrics::disabled(),
+            append_buf: Vec::new(),
         }
     }
 
@@ -573,9 +579,11 @@ impl VirtualLog {
             .ok_or(DiskError::NoSpace)?;
         let lba = self.cand_lba(&cand)?;
         let old = self.pieces[piece as usize];
-        // Encode straight from the piece's page. The final piece may be
-        // shorter than PIECE_ENTRIES; recovery treats absent trailing
-        // entries and UNMAPPED padding identically.
+        // Encode straight from the piece's page into the reusable scratch
+        // buffer. The final piece may be shorter than PIECE_ENTRIES;
+        // recovery treats absent trailing entries and UNMAPPED padding
+        // identically.
+        let mut image = std::mem::take(&mut self.append_buf);
         let sector = MapSectorRef {
             seq: self.next_seq,
             piece,
@@ -598,22 +606,23 @@ impl VirtualLog {
                 cand.cost.total_ns() / 1000
             );
         }
-        let image = sector.encode()?;
+        sector.encode_into(&mut image)?;
         // Attribute the map commit to the log machinery, not to whichever
         // host command triggered it.
         let sp = if self.disk.spans().is_enabled() {
             self.disk.spans().open(
                 disksim::SpanKind::LogAppend,
                 "vlog.map_append",
-                self.disk.clock().now(),
+                self.disk.now_ns(),
             )
         } else {
             0
         };
         let t = self.disk.write_sectors(lba, &image);
         if sp != 0 {
-            self.disk.spans().close(sp, self.disk.clock().now());
+            self.disk.spans().close(sp, self.disk.now_ns());
         }
+        self.append_buf = image;
         let t = t?;
         self.free
             .allocate(cand.cyl, cand.track, cand.sector, BLOCK_SECTORS)?;
@@ -681,14 +690,14 @@ impl VirtualLog {
             self.disk.spans().open(
                 disksim::SpanKind::LogAppend,
                 "vlog.checkpoint",
-                self.disk.clock().now(),
+                self.disk.now_ns(),
             )
         } else {
             0
         };
         let t = self.disk.write_sectors(slot, &image);
         if sp != 0 {
-            self.disk.spans().close(sp, self.disk.clock().now());
+            self.disk.spans().close(sp, self.disk.now_ns());
         }
         let t = t?;
         self.ckpt_use_b = !self.ckpt_use_b;
@@ -821,6 +830,7 @@ impl VlogSnapshot {
             ckpt_use_b: self.ckpt_use_b,
             stats: self.stats,
             metrics: disksim::Metrics::disabled(),
+            append_buf: Vec::new(),
         }
     }
 

@@ -166,13 +166,28 @@ impl MapSectorRef<'_> {
     ///
     /// Fails if the payload exceeds [`PIECE_ENTRIES`].
     pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Serialise into a caller-owned buffer, reusing its allocation. The
+    /// buffer is cleared and resized to [`PIECE_BYTES`] — the log's append
+    /// path passes the same scratch vector on every call so the hot path
+    /// performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the payload exceeds [`PIECE_ENTRIES`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<()> {
         if self.entries.len() > PIECE_ENTRIES {
             return Err(DiskError::BadBufferLength {
                 expected: PIECE_ENTRIES * 4,
                 actual: self.entries.len() * 4,
             });
         }
-        let mut buf = vec![0u8; PIECE_BYTES];
+        buf.clear();
+        buf.resize(PIECE_BYTES, 0);
         buf[0..4].copy_from_slice(&MAP_MAGIC.to_le_bytes());
         buf[4..6].copy_from_slice(&MAP_VERSION.to_le_bytes());
         buf[6..8].copy_from_slice(&self.flags.0.to_le_bytes());
@@ -198,9 +213,9 @@ impl MapSectorRef<'_> {
             let o = HEADER_BYTES + i * 4;
             buf[o..o + 4].copy_from_slice(&e.to_le_bytes());
         }
-        let sum = crc32(&buf);
+        let sum = crc32(buf);
         buf[68..72].copy_from_slice(&sum.to_le_bytes());
-        Ok(buf)
+        Ok(())
     }
 }
 

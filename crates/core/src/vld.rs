@@ -192,7 +192,7 @@ impl Vld {
     }
 
     fn charge_host_overhead(&mut self) -> ServiceTime {
-        self.vlog.disk_mut().clock().advance(self.host_overhead_ns);
+        self.vlog.disk().advance_ns(self.host_overhead_ns);
         ServiceTime {
             overhead_ns: self.host_overhead_ns,
             ..ServiceTime::ZERO
@@ -252,8 +252,7 @@ impl BlockDevice for Vld {
     }
 
     fn idle(&mut self, budget_ns: u64) -> u64 {
-        let clock = self.vlog.disk().clock();
-        let start = clock.now();
+        let start = self.vlog.disk().now_ns();
         // An idle grant is a loan the device must repay on time. Hold back
         // a reserve covering the worst single operation the background
         // machinery can have in flight when the deadline hits — a seek
@@ -265,7 +264,7 @@ impl BlockDevice for Vld {
             let _ = self.vlog.checkpoint();
         }
         if self.cfg.compaction_enabled {
-            let used = clock.now() - start;
+            let used = self.vlog.disk().now_ns() - start;
             let spendable = budget_ns.saturating_sub(used + reserve_ns);
             if spendable > 0 {
                 self.compactor.run(&mut self.vlog, spendable);
@@ -274,7 +273,7 @@ impl BlockDevice for Vld {
                 self.vlog.alloc.reset_fill();
             }
         }
-        clock.now() - start
+        self.vlog.disk().now_ns() - start
     }
 
     fn flush(&mut self) -> Result<ServiceTime> {

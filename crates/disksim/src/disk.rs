@@ -38,6 +38,54 @@ pub struct HeadPosition {
     pub sector: u32,
 }
 
+/// Precomputed repositioning plan for pricing candidate sectors on one
+/// track at one instant — built by [`Disk::track_pricer`] (or specialised
+/// from a [`CylinderPricer`]), consumed by [`Disk::priced_cost`]. Every
+/// division behind `sector_under_head` / `rotational_wait_ns` /
+/// `sector_ns` is done once here; pricing a sector is then adds, compares
+/// and one multiply. Stale as soon as the head moves or the clock
+/// advances.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackPricer {
+    /// Sectors per track on the plan's cylinder.
+    spt: u32,
+    /// Tabulated seek component of the reposition.
+    seek_ns: u64,
+    /// Head-switch component (0 when the plan's track is the head's own).
+    head_switch_ns: u64,
+    /// One revolution, and the time one sector takes to pass the head.
+    rev_ns: u64,
+    sector_ns: u64,
+    /// Angular position of the head within the revolution at arrival time.
+    in_rev: u64,
+    /// The track's angular skew, already reduced modulo `spt`.
+    skew: u32,
+    /// First logical sector whose start passes under the head after the
+    /// reposition — the seed for a rotational-encounter-order scan.
+    pub arrival: u32,
+}
+
+/// The cylinder-wide part of a repositioning plan: every track of one
+/// cylinder shares the same seek, the same arrival instant and therefore
+/// the same angular arithmetic — only the per-track skew differs. Built by
+/// [`Disk::cylinder_pricer`], specialised per track with
+/// [`Disk::track_pricer_from`]. The lone exception is the head's own track
+/// on the head's own cylinder (no head switch): price it with
+/// [`Disk::track_pricer`] directly.
+#[derive(Debug, Clone, Copy)]
+pub struct CylinderPricer {
+    cyl: u32,
+    spt: u32,
+    seek_ns: u64,
+    head_switch_ns: u64,
+    rev_ns: u64,
+    sector_ns: u64,
+    in_rev: u64,
+    /// Physical slot whose boundary arrives first (already advanced past
+    /// the partially-gone sector).
+    slot_plus1: u32,
+}
+
 /// Cumulative operation counters for a disk.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DiskStats {
@@ -195,6 +243,11 @@ pub struct Disk {
     metrics: Metrics,
     /// Causal-span handle; disabled by default (no-op after one branch).
     spans: Spans,
+    /// Cached "any observability sink attached?" flag, recomputed whenever
+    /// a tracer/metrics/spans handle is (de)attached. Command dispatch
+    /// checks this single predictable bool instead of probing all three
+    /// handles, so fully-disabled tracing costs one branch per operation.
+    obs_enabled: bool,
 }
 
 impl Disk {
@@ -215,7 +268,14 @@ impl Disk {
             tracer: None,
             metrics: Metrics::disabled(),
             spans: Spans::disabled(),
+            obs_enabled: false,
         }
+    }
+
+    /// Recompute the cached observability flag after a handle change.
+    fn refresh_obs(&mut self) {
+        self.obs_enabled =
+            self.tracer.is_some() || self.metrics.is_enabled() || self.spans.is_enabled();
     }
 
     /// Attach (or detach, with `None`) an event tracer. Every timed
@@ -224,6 +284,7 @@ impl Disk {
     /// the component sums of a complete trace equal the busy totals.
     pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
         self.tracer = tracer;
+        self.refresh_obs();
     }
 
     /// The attached tracer, if any.
@@ -234,6 +295,7 @@ impl Disk {
     /// Attach a metrics handle (pass `Metrics::disabled()` to detach).
     pub fn set_metrics(&mut self, metrics: Metrics) {
         self.metrics = metrics;
+        self.refresh_obs();
     }
 
     /// Attach a causal-span handle (pass `Spans::disabled()` to detach).
@@ -242,6 +304,7 @@ impl Disk {
     /// same handle so their spans are the attribution targets.
     pub fn set_spans(&mut self, spans: Spans) {
         self.spans = spans;
+        self.refresh_obs();
     }
 
     /// The attached span handle (disabled handles are cheap to clone).
@@ -250,8 +313,12 @@ impl Disk {
     }
 
     /// Record one completed operation to the span table, tracer and
-    /// metrics.
+    /// metrics. With every sink detached this is one predictable branch.
+    #[inline]
     fn observe_op(&self, kind: OpKind, lba: u64, sectors: u32, loc: (u32, u32, u32), seek_cyls: u32, st: ServiceTime) {
+        if !self.obs_enabled {
+            return;
+        }
         // Attribute the busy time to the innermost open span first, so the
         // trace event can be stamped with the owning span's id.
         let (span, span_kind) = self.spans.attribute(st.total_ns());
@@ -310,8 +377,9 @@ impl Disk {
     /// Record the batched-run shape of one command: how many same-track
     /// contiguous runs it collapsed into a single clock event (each run's
     /// length in sectors is observed as the command is planned).
+    #[inline]
     fn observe_run_count(&self, n_runs: u64) {
-        if self.metrics.is_enabled() {
+        if self.obs_enabled && self.metrics.is_enabled() {
             self.metrics.observe("disk.runs_per_cmd", n_runs);
         }
     }
@@ -346,6 +414,19 @@ impl Disk {
     /// Handle to the shared clock.
     pub fn clock(&self) -> SimClock {
         self.clock.clone()
+    }
+
+    /// The current simulated instant — equivalent to `clock().now()` but
+    /// without cloning the clock handle, for per-append hot paths.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Advance the shared clock without cloning the handle.
+    #[inline]
+    pub fn advance_ns(&self, ns: u64) {
+        self.clock.advance(ns);
     }
 
     /// Cumulative statistics.
@@ -485,6 +566,117 @@ impl Disk {
         Ok((slot + spt - skew) % spt)
     }
 
+    /// The cylinder-wide repositioning plan shared by every track of `cyl`
+    /// (reached with a head switch when `cyl` is the head's own cylinder):
+    /// the seek lookup, the arrival instant and all the angular divisions,
+    /// done once. Specialise per track with [`Self::track_pricer_from`].
+    /// The plan is only valid while the head position and clock are
+    /// unchanged — and it does *not* cover the head's own track (which is
+    /// reached without a head switch); use [`Self::track_pricer`] there.
+    #[inline]
+    pub fn cylinder_pricer(&self, cyl: u32) -> Result<CylinderPricer> {
+        let spt = self.spec.geometry.sectors_per_track(cyl)?;
+        let mech = &self.spec.mech;
+        let seek = self.seek.get(self.cur_cyl.abs_diff(cyl));
+        let switch = if self.cur_cyl == cyl {
+            mech.head_switch_ns
+        } else {
+            0
+        };
+        let t_pos = self.clock.now() + seek.max(switch);
+        let rev_ns = mech.revolution_ns();
+        let sector_ns = rev_ns / spt as u64;
+        let in_rev = t_pos % rev_ns;
+        // Same arrival rule as `arrival_sector`: the sector currently
+        // passing is partially gone, so the next boundary is slot + 1.
+        let slot_plus1 = ((in_rev as u128 * spt as u128 / rev_ns as u128) as u32 + 1) % spt;
+        Ok(CylinderPricer {
+            cyl,
+            spt,
+            seek_ns: seek,
+            head_switch_ns: switch,
+            rev_ns,
+            sector_ns,
+            in_rev,
+            slot_plus1,
+        })
+    }
+
+    /// Specialise a [`CylinderPricer`] to one of its tracks: only the
+    /// track's skew is new work — the seek, arrival instant and angular
+    /// divisions are reused from the cylinder plan.
+    #[inline]
+    pub fn track_pricer_from(&self, c: &CylinderPricer, track: u32) -> TrackPricer {
+        let skew = self.skew(c.cyl, track) % c.spt;
+        TrackPricer {
+            spt: c.spt,
+            seek_ns: c.seek_ns,
+            head_switch_ns: c.head_switch_ns,
+            rev_ns: c.rev_ns,
+            sector_ns: c.sector_ns,
+            in_rev: c.in_rev,
+            skew,
+            arrival: (c.slot_plus1 + c.spt - skew) % c.spt,
+        }
+    }
+
+    /// One-shot repositioning plan for pricing candidates on a single track
+    /// from the current instant: the seek/switch/arrival trigonometry that
+    /// [`Self::arrival_sector`] and [`Self::position_cost`] would each
+    /// redo, computed once. The caller scans the free map from
+    /// [`TrackPricer::arrival`] and prices the hit with
+    /// [`Self::priced_cost`]. The plan is only valid while the head
+    /// position and clock are unchanged.
+    #[inline]
+    pub fn track_pricer(&self, cyl: u32, track: u32) -> Result<TrackPricer> {
+        if track >= self.spec.geometry.tracks_per_cylinder() {
+            return Err(DiskError::OutOfRange {
+                addr: track as u64,
+                limit: self.spec.geometry.tracks_per_cylinder() as u64,
+            });
+        }
+        let mut c = self.cylinder_pricer(cyl)?;
+        if self.cur_cyl == cyl && self.cur_track == track {
+            // The head's own track: no head switch, so the arrival instant
+            // (and hence the angular state) differs from the rest of the
+            // cylinder; redo the cheap part of the plan without the switch.
+            c.head_switch_ns = 0;
+            let t_pos = self.clock.now() + c.seek_ns;
+            c.in_rev = t_pos % c.rev_ns;
+            c.slot_plus1 =
+                ((c.in_rev as u128 * c.spt as u128 / c.rev_ns as u128) as u32 + 1) % c.spt;
+        }
+        Ok(self.track_pricer_from(&c, track))
+    }
+
+    /// Exact positioning cost of `sector` on the track a [`TrackPricer`]
+    /// was built for — identical to [`Self::position_cost`] of the same
+    /// sector, minus the repeated repositioning work (no divisions: the
+    /// plan carries all the angular state). `sector` must lie on the
+    /// pricer's track.
+    #[inline]
+    pub fn priced_cost(&self, p: &TrackPricer, sector: u32) -> ServiceTime {
+        debug_assert!(sector < p.spt, "sector off the priced track");
+        let slot = (sector + p.skew) % p.spt;
+        let target_start = slot as u64 * p.sector_ns;
+        let rotation = if target_start >= p.in_rev {
+            target_start - p.in_rev
+        } else {
+            p.rev_ns - p.in_rev + target_start
+        };
+        ServiceTime {
+            overhead_ns: 0,
+            seek_ns: p.seek_ns,
+            head_switch_ns: if p.seek_ns >= p.head_switch_ns {
+                0
+            } else {
+                p.head_switch_ns
+            },
+            rotation_ns: rotation,
+            transfer_ns: 0,
+        }
+    }
+
     /// Pure positioning cost (seek + head switch + rotation, no overhead or
     /// transfer) of moving the head from where it is *now* to the start of
     /// `sector` on (`cyl`, `track`). This is the quantity an eager-writing
@@ -579,7 +771,7 @@ impl Disk {
             let run = self.run_at(next, left)?;
             first.get_or_insert(run);
             n_runs += 1;
-            if self.metrics.is_enabled() {
+            if self.obs_enabled && self.metrics.is_enabled() {
                 self.metrics.observe("disk.run_len", run.count as u64);
             }
             let part = &mut buf[off..off + run.count as usize * SECTOR_BYTES];
@@ -674,7 +866,7 @@ impl Disk {
             let run = self.run_at(next, left)?;
             first.get_or_insert(run);
             n_runs += 1;
-            if self.metrics.is_enabled() {
+            if self.obs_enabled && self.metrics.is_enabled() {
                 self.metrics.observe("disk.run_len", run.count as u64);
             }
             let st = self.plan_run(&run, self.cur_cyl, self.cur_track, t);
@@ -891,6 +1083,7 @@ impl DiskSnapshot {
             tracer: None,
             metrics: Metrics::disabled(),
             spans: Spans::disabled(),
+            obs_enabled: false,
         }
     }
 

@@ -44,7 +44,7 @@ pub mod trackbuf;
 pub use cache::{CachePolicy, TrackCache};
 pub use clock::SimClock;
 pub use device::{downcast_device, probe_device, BlockDevice, DeviceSnapshot, RegularDisk};
-pub use disk::{Disk, DiskSnapshot, DiskStats, HeadPosition};
+pub use disk::{CylinderPricer, Disk, DiskSnapshot, DiskStats, HeadPosition, TrackPricer};
 pub use error::{DiskError, Result};
 pub use fault::{FaultDisk, FaultLog, FaultPlan, WriteFault};
 pub use geometry::{Geometry, PhysAddr, Zone};
